@@ -1,0 +1,133 @@
+// Experiment F1 (Fig. 1): the predictable-architecture workflow end to end.
+//
+// Validates that every box of the figure produces its artifact on the camera
+// pill application — CSL front-end, multi-criteria compiler with the three
+// analysers, coordination (schedule + glue), contract system (verified
+// certificate) — and reports per-stage toolchain latency.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/workflow.hpp"
+#include "energy/analyser.hpp"
+#include "security/taint.hpp"
+#include "support/units.hpp"
+#include "usecases/apps.hpp"
+#include "wcet/analyser.hpp"
+
+using namespace teamplay;
+using namespace teamplay::usecases;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+void print_table() {
+    const auto app = make_camera_pill_app();
+
+    std::puts("=== F1: predictable workflow stages (Fig. 1) ===");
+    auto t0 = std::chrono::steady_clock::now();
+    const auto spec = csl::parse(app.csl_source);
+    std::printf("%-38s %10s   tasks=%zu, POIs with budgets=%zu\n",
+                "CSL front-end", support::format_time(seconds_since(t0)).c_str(),
+                spec.tasks.size(), spec.tasks.size());
+
+    const auto& m0 = app.platform.cores[0];
+    t0 = std::chrono::steady_clock::now();
+    const wcet::Analyser wcet_analyser(app.program);
+    double total_wcet = 0.0;
+    for (const auto& task : spec.tasks)
+        total_wcet += wcet_analyser.analyse(task.entry, m0, 2).time_s;
+    std::printf("%-38s %10s   pipeline WCET=%s\n", "WCET analyser (aiT role)",
+                support::format_time(seconds_since(t0)).c_str(),
+                support::format_time(total_wcet).c_str());
+
+    t0 = std::chrono::steady_clock::now();
+    const energy::Analyser energy_analyser(app.program);
+    double total_wcec = 0.0;
+    for (const auto& task : spec.tasks)
+        total_wcec += energy_analyser.analyse(task.entry, m0, 2).wcec_j;
+    std::printf("%-38s %10s   pipeline WCEC=%s\n", "EnergyAnalyser",
+                support::format_time(seconds_since(t0)).c_str(),
+                support::format_energy(total_wcec).c_str());
+
+    t0 = std::chrono::steady_clock::now();
+    int leaky_tasks = 0;
+    for (const auto& task : spec.tasks) {
+        const auto report = security::analyze_taint(
+            app.program, *app.program.find(task.entry));
+        leaky_tasks += report.leaky() ? 1 : 0;
+    }
+    std::printf("%-38s %10s   leaky tasks=%d\n", "SecurityAnalyser",
+                support::format_time(seconds_since(t0)).c_str(), leaky_tasks);
+
+    t0 = std::chrono::steady_clock::now();
+    core::PredictableWorkflow workflow(app.program, app.platform);
+    core::WorkflowOptions options;
+    options.compiler.population = 10;
+    options.compiler.iterations = 10;
+    const auto report = workflow.run(spec, options);
+    std::printf("%-38s %10s   versions=%zu fronts\n",
+                "multi-criteria compiler + coordination",
+                support::format_time(seconds_since(t0)).c_str(),
+                report.fronts.size());
+
+    std::printf("%-38s %10s   %s, %s\n", "contract system",
+                "-",
+                report.certificate.all_hold() ? "all contracts hold"
+                                              : "VIOLATION",
+                contracts::verify_certificate(report.certificate)
+                    ? "proofs verified"
+                    : "PROOF ERROR");
+    std::printf("%-38s %10s   glue=%zu bytes, schedule feasible=%s\n\n",
+                "certified coordinated binary", "-",
+                report.glue_code.size(),
+                report.schedule.feasible ? "yes" : "no");
+}
+
+void BM_Fig1EndToEnd(benchmark::State& state) {
+    const auto app = make_camera_pill_app();
+    const auto spec = csl::parse(app.csl_source);
+    core::PredictableWorkflow workflow(app.program, app.platform);
+    core::WorkflowOptions options;
+    options.compiler.population = static_cast<int>(state.range(0));
+    options.compiler.iterations = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(workflow.run(spec, options));
+}
+BENCHMARK(BM_Fig1EndToEnd)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_CslParse(benchmark::State& state) {
+    const auto app = make_camera_pill_app();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(csl::parse(app.csl_source));
+}
+BENCHMARK(BM_CslParse)->Unit(benchmark::kMicrosecond);
+
+void BM_CertificateVerify(benchmark::State& state) {
+    const auto app = make_camera_pill_app();
+    const auto spec = csl::parse(app.csl_source);
+    core::PredictableWorkflow workflow(app.program, app.platform);
+    core::WorkflowOptions options;
+    options.compiler.population = 4;
+    options.compiler.iterations = 4;
+    const auto report = workflow.run(spec, options);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            contracts::verify_certificate(report.certificate));
+}
+BENCHMARK(BM_CertificateVerify)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

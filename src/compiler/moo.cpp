@@ -1,0 +1,397 @@
+#include "compiler/moo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace teamplay::compiler {
+
+bool dominates(const Objectives& a, const Objectives& b) {
+    bool strictly_better = false;
+    for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+        if (a[i] > b[i]) return false;
+        if (a[i] < b[i]) strictly_better = true;
+    }
+    return strictly_better;
+}
+
+std::vector<std::size_t> pareto_indices(
+    const std::vector<Solution>& solutions) {
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < solutions.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < solutions.size() && !dominated; ++j) {
+            if (i != j &&
+                dominates(solutions[j].objectives, solutions[i].objectives))
+                dominated = true;
+        }
+        if (!dominated) front.push_back(i);
+    }
+    return front;
+}
+
+std::vector<Solution> pareto_filter(std::vector<Solution> solutions) {
+    const auto keep = pareto_indices(solutions);
+    std::vector<Solution> result;
+    result.reserve(keep.size());
+    for (const std::size_t i : keep) result.push_back(std::move(solutions[i]));
+    return result;
+}
+
+double hypervolume(const std::vector<Objectives>& front, const Objectives& ref,
+                   int samples, support::Rng& rng) {
+    if (front.empty() || ref.empty() || samples <= 0) return 0.0;
+    const std::size_t dims = ref.size();
+
+    // Sampling box: [ideal, ref] where ideal is the componentwise minimum.
+    Objectives ideal = front.front();
+    for (const auto& point : front)
+        for (std::size_t d = 0; d < dims; ++d)
+            ideal[d] = std::min(ideal[d], point[d]);
+    double box_volume = 1.0;
+    for (std::size_t d = 0; d < dims; ++d) {
+        if (ref[d] <= ideal[d]) return 0.0;
+        box_volume *= ref[d] - ideal[d];
+    }
+
+    int hits = 0;
+    Objectives sample(dims);
+    for (int s = 0; s < samples; ++s) {
+        for (std::size_t d = 0; d < dims; ++d)
+            sample[d] = rng.uniform(ideal[d], ref[d]);
+        for (const auto& point : front) {
+            bool dominated = true;
+            for (std::size_t d = 0; d < dims; ++d)
+                if (point[d] > sample[d]) {
+                    dominated = false;
+                    break;
+                }
+            if (dominated) {
+                ++hits;
+                break;
+            }
+        }
+    }
+    return box_volume * static_cast<double>(hits) /
+           static_cast<double>(samples);
+}
+
+namespace {
+
+void clamp01(Genome& genome) {
+    for (double& g : genome) g = std::clamp(g, 0.0, 1.0);
+}
+
+/// Insert into a bounded Pareto archive; drops dominated members.  When the
+/// archive overflows, the entry closest to its neighbours (crowding proxy:
+/// objective-space L1 distance to nearest member) is evicted.
+void archive_insert(std::vector<Solution>& archive, Solution candidate,
+                    std::size_t cap) {
+    for (const auto& member : archive)
+        if (dominates(member.objectives, candidate.objectives) ||
+            member.objectives == candidate.objectives)
+            return;
+    std::erase_if(archive, [&candidate](const Solution& member) {
+        return dominates(candidate.objectives, member.objectives);
+    });
+    archive.push_back(std::move(candidate));
+    if (archive.size() <= cap) return;
+
+    // Evict the most crowded member.
+    std::size_t evict = 0;
+    double min_dist = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < archive.size(); ++i) {
+        double nearest = std::numeric_limits<double>::max();
+        for (std::size_t j = 0; j < archive.size(); ++j) {
+            if (i == j) continue;
+            double dist = 0.0;
+            for (std::size_t d = 0; d < archive[i].objectives.size(); ++d)
+                dist += std::abs(archive[i].objectives[d] -
+                                 archive[j].objectives[d]);
+            nearest = std::min(nearest, dist);
+        }
+        if (nearest < min_dist) {
+            min_dist = nearest;
+            evict = i;
+        }
+    }
+    archive.erase(archive.begin() + static_cast<std::ptrdiff_t>(evict));
+}
+
+/// Mantegna's algorithm for Lévy-stable step lengths.
+double levy_step(double lambda, support::Rng& rng) {
+    const double sigma = std::pow(
+        std::tgamma(1.0 + lambda) * std::sin(std::numbers::pi * lambda / 2.0) /
+            (std::tgamma((1.0 + lambda) / 2.0) * lambda *
+             std::pow(2.0, (lambda - 1.0) / 2.0)),
+        1.0 / lambda);
+    const double u = rng.gaussian(0.0, sigma);
+    const double v = std::abs(rng.gaussian());
+    if (v < 1e-12) return 0.0;
+    return u / std::pow(v, 1.0 / lambda);
+}
+
+}  // namespace
+
+MooRun fpa_optimise(const EvalFn& eval, int dims, const FpaParams& params,
+                    support::Rng& rng) {
+    MooRun run;
+    std::vector<Solution> population;
+    population.reserve(static_cast<std::size_t>(params.population));
+    for (int i = 0; i < params.population; ++i) {
+        Genome genome(static_cast<std::size_t>(dims));
+        for (double& g : genome) g = rng.uniform();
+        Objectives obj = eval(genome);
+        ++run.evaluations;
+        Solution solution{std::move(genome), std::move(obj)};
+        archive_insert(run.front, solution, params.archive_cap);
+        population.push_back(std::move(solution));
+    }
+
+    for (int iter = 0; iter < params.iterations; ++iter) {
+        for (auto& flower : population) {
+            Genome candidate = flower.genome;
+            if (rng.chance(params.p_switch) && !run.front.empty()) {
+                // Global pollination: Lévy flight toward an archive member.
+                const auto& guide =
+                    run.front[rng.below(run.front.size())].genome;
+                for (std::size_t d = 0; d < candidate.size(); ++d) {
+                    const double step = 0.1 * levy_step(params.levy_lambda, rng);
+                    candidate[d] += step * (guide[d] - candidate[d]);
+                }
+            } else {
+                // Local pollination: mix two random flowers.
+                const auto& a =
+                    population[rng.below(population.size())].genome;
+                const auto& b =
+                    population[rng.below(population.size())].genome;
+                const double epsilon = rng.uniform();
+                for (std::size_t d = 0; d < candidate.size(); ++d)
+                    candidate[d] += epsilon * (a[d] - b[d]);
+            }
+            clamp01(candidate);
+            Objectives obj = eval(candidate);
+            ++run.evaluations;
+            Solution offspring{std::move(candidate), std::move(obj)};
+            archive_insert(run.front, offspring, params.archive_cap);
+            // Replace the parent when the offspring is at least as good.
+            if (dominates(offspring.objectives, flower.objectives) ||
+                (!dominates(flower.objectives, offspring.objectives) &&
+                 rng.chance(0.5)))
+                flower = std::move(offspring);
+        }
+    }
+    run.front = pareto_filter(std::move(run.front));
+    return run;
+}
+
+namespace {
+
+/// Fast non-dominated sort: returns front index per solution (0 = best).
+std::vector<int> non_dominated_sort(const std::vector<Solution>& pop) {
+    const std::size_t n = pop.size();
+    std::vector<std::vector<std::size_t>> dominated_by(n);
+    std::vector<int> domination_count(n, 0);
+    std::vector<int> rank(n, 0);
+    std::vector<std::size_t> current;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j) continue;
+            if (dominates(pop[i].objectives, pop[j].objectives))
+                dominated_by[i].push_back(j);
+            else if (dominates(pop[j].objectives, pop[i].objectives))
+                ++domination_count[i];
+        }
+        if (domination_count[i] == 0) {
+            rank[i] = 0;
+            current.push_back(i);
+        }
+    }
+    int front = 0;
+    while (!current.empty()) {
+        std::vector<std::size_t> next;
+        for (const std::size_t i : current) {
+            for (const std::size_t j : dominated_by[i]) {
+                if (--domination_count[j] == 0) {
+                    rank[j] = front + 1;
+                    next.push_back(j);
+                }
+            }
+        }
+        ++front;
+        current = std::move(next);
+    }
+    return rank;
+}
+
+/// Crowding distance within one front (indices into pop).
+std::vector<double> crowding(const std::vector<Solution>& pop,
+                             const std::vector<std::size_t>& front) {
+    std::vector<double> distance(pop.size(), 0.0);
+    if (front.empty()) return distance;
+    const std::size_t m = pop[front[0]].objectives.size();
+    for (std::size_t obj = 0; obj < m; ++obj) {
+        std::vector<std::size_t> order = front;
+        std::sort(order.begin(), order.end(),
+                  [&pop, obj](std::size_t a, std::size_t b) {
+                      return pop[a].objectives[obj] < pop[b].objectives[obj];
+                  });
+        const double lo = pop[order.front()].objectives[obj];
+        const double hi = pop[order.back()].objectives[obj];
+        distance[order.front()] = std::numeric_limits<double>::infinity();
+        distance[order.back()] = std::numeric_limits<double>::infinity();
+        if (hi <= lo) continue;
+        for (std::size_t k = 1; k + 1 < order.size(); ++k)
+            distance[order[k]] += (pop[order[k + 1]].objectives[obj] -
+                                   pop[order[k - 1]].objectives[obj]) /
+                                  (hi - lo);
+    }
+    return distance;
+}
+
+}  // namespace
+
+MooRun nsga2_optimise(const EvalFn& eval, int dims, const Nsga2Params& params,
+                      support::Rng& rng) {
+    MooRun run;
+    const double pm = params.mutation_prob > 0.0
+                          ? params.mutation_prob
+                          : 1.0 / static_cast<double>(dims);
+
+    std::vector<Solution> pop;
+    pop.reserve(static_cast<std::size_t>(params.population));
+    for (int i = 0; i < params.population; ++i) {
+        Genome genome(static_cast<std::size_t>(dims));
+        for (double& g : genome) g = rng.uniform();
+        Objectives obj = eval(genome);
+        ++run.evaluations;
+        pop.push_back(Solution{std::move(genome), std::move(obj)});
+    }
+
+    const auto sbx = [&rng, &params](double a, double b) {
+        const double u = rng.uniform();
+        const double beta =
+            u <= 0.5 ? std::pow(2.0 * u, 1.0 / (params.eta_c + 1.0))
+                     : std::pow(1.0 / (2.0 * (1.0 - u)),
+                                1.0 / (params.eta_c + 1.0));
+        return std::pair{0.5 * ((1.0 + beta) * a + (1.0 - beta) * b),
+                         0.5 * ((1.0 - beta) * a + (1.0 + beta) * b)};
+    };
+    const auto mutate = [&rng, &params, pm](Genome& genome) {
+        for (double& g : genome) {
+            if (!rng.chance(pm)) continue;
+            const double u = rng.uniform();
+            const double delta =
+                u < 0.5 ? std::pow(2.0 * u, 1.0 / (params.eta_m + 1.0)) - 1.0
+                        : 1.0 - std::pow(2.0 * (1.0 - u),
+                                         1.0 / (params.eta_m + 1.0));
+            g += delta;
+        }
+        clamp01(genome);
+    };
+
+    for (int gen = 0; gen < params.generations; ++gen) {
+        const auto rank = non_dominated_sort(pop);
+        std::vector<std::size_t> all(pop.size());
+        for (std::size_t i = 0; i < pop.size(); ++i) all[i] = i;
+        const auto crowd = crowding(pop, all);
+        const auto tournament = [&]() -> const Solution& {
+            const std::size_t a = rng.below(pop.size());
+            const std::size_t b = rng.below(pop.size());
+            if (rank[a] != rank[b]) return pop[rank[a] < rank[b] ? a : b];
+            return pop[crowd[a] > crowd[b] ? a : b];
+        };
+
+        std::vector<Solution> offspring;
+        offspring.reserve(pop.size());
+        while (offspring.size() < pop.size()) {
+            Genome c1 = tournament().genome;
+            Genome c2 = tournament().genome;
+            if (rng.chance(params.crossover_prob)) {
+                for (std::size_t d = 0; d < c1.size(); ++d) {
+                    const auto [x, y] = sbx(c1[d], c2[d]);
+                    c1[d] = x;
+                    c2[d] = y;
+                }
+            }
+            mutate(c1);
+            mutate(c2);
+            for (Genome* child : {&c1, &c2}) {
+                if (offspring.size() >= pop.size()) break;
+                Objectives obj = eval(*child);
+                ++run.evaluations;
+                offspring.push_back(Solution{std::move(*child), std::move(obj)});
+            }
+        }
+
+        // Environmental selection over parents + offspring.
+        std::vector<Solution> merged = std::move(pop);
+        for (auto& child : offspring) merged.push_back(std::move(child));
+        const auto merged_rank = non_dominated_sort(merged);
+        std::vector<std::size_t> order(merged.size());
+        for (std::size_t i = 0; i < merged.size(); ++i) order[i] = i;
+        std::vector<std::size_t> all_merged = order;
+        const auto merged_crowd = crowding(merged, all_merged);
+        std::sort(order.begin(), order.end(),
+                  [&merged_rank, &merged_crowd](std::size_t a, std::size_t b) {
+                      if (merged_rank[a] != merged_rank[b])
+                          return merged_rank[a] < merged_rank[b];
+                      return merged_crowd[a] > merged_crowd[b];
+                  });
+        pop.clear();
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(params.population); ++i)
+            pop.push_back(std::move(merged[order[i]]));
+    }
+
+    for (auto& solution : pop)
+        archive_insert(run.front, solution, 256);
+    run.front = pareto_filter(std::move(run.front));
+    return run;
+}
+
+MooRun weighted_sum_optimise(const EvalFn& eval, int dims,
+                             const WeightedSumParams& params,
+                             support::Rng& rng) {
+    MooRun run;
+    for (int restart = 0; restart < params.restarts; ++restart) {
+        // Random weight vector on the simplex.
+        std::vector<double> weights(3, 0.0);
+        double total = 0.0;
+        for (double& w : weights) {
+            w = rng.uniform(0.05, 1.0);
+            total += w;
+        }
+        for (double& w : weights) w /= total;
+
+        Genome current(static_cast<std::size_t>(dims));
+        for (double& g : current) g = rng.uniform();
+        Objectives current_obj = eval(current);
+        ++run.evaluations;
+        const auto scalar = [&weights](const Objectives& obj) {
+            double s = 0.0;
+            for (std::size_t i = 0; i < obj.size(); ++i)
+                s += (i < weights.size() ? weights[i] : 1.0) * obj[i];
+            return s;
+        };
+
+        for (int iter = 0; iter < params.iterations; ++iter) {
+            Genome candidate = current;
+            const std::size_t d = rng.below(candidate.size());
+            candidate[d] += rng.uniform(-params.step, params.step);
+            clamp01(candidate);
+            Objectives obj = eval(candidate);
+            ++run.evaluations;
+            if (scalar(obj) < scalar(current_obj)) {
+                current = std::move(candidate);
+                current_obj = std::move(obj);
+            }
+        }
+        archive_insert(run.front, Solution{current, current_obj}, 64);
+    }
+    run.front = pareto_filter(std::move(run.front));
+    return run;
+}
+
+}  // namespace teamplay::compiler

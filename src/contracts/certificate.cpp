@@ -1,0 +1,383 @@
+#include "contracts/certificate.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "energy/analyser.hpp"
+#include "support/units.hpp"
+
+namespace teamplay::contracts {
+
+std::string_view property_name(Property property) {
+    switch (property) {
+        case Property::kTime: return "time";
+        case Property::kEnergy: return "energy";
+        case Property::kSecurity: return "security";
+    }
+    return "?";
+}
+
+std::string_view rule_name(ProofRule rule) {
+    switch (rule) {
+        case ProofRule::kInstrCost: return "instr-cost";
+        case ProofRule::kOverhead: return "overhead";
+        case ProofRule::kSeq: return "seq";
+        case ProofRule::kAlt: return "alt";
+        case ProofRule::kLoop: return "loop";
+        case ProofRule::kCall: return "call";
+        case ProofRule::kScale: return "scale";
+        case ProofRule::kMeasured: return "measured";
+        case ProofRule::kStaticLeak: return "static-leak";
+    }
+    return "?";
+}
+
+namespace {
+
+bool close(double a, double b) {
+    return std::abs(a - b) <= 1e-9 * std::max({1.0, std::abs(a),
+                                               std::abs(b)});
+}
+
+}  // namespace
+
+bool verify_proof(const ProofNode& node) {
+    for (const auto& child : node.children)
+        if (!verify_proof(child)) return false;
+    switch (node.rule) {
+        case ProofRule::kInstrCost:
+        case ProofRule::kOverhead:
+        case ProofRule::kMeasured:
+        case ProofRule::kStaticLeak:
+            return node.children.empty() && node.value >= 0.0;
+        case ProofRule::kSeq:
+        case ProofRule::kCall: {
+            double sum = 0.0;
+            for (const auto& child : node.children) sum += child.value;
+            return close(node.value, sum);
+        }
+        case ProofRule::kAlt: {
+            double best = 0.0;
+            for (const auto& child : node.children)
+                best = std::max(best, child.value);
+            return close(node.value, best);
+        }
+        case ProofRule::kLoop:
+        case ProofRule::kScale: {
+            if (node.children.size() != 1) return false;
+            return close(node.value, node.param * node.children[0].value);
+        }
+    }
+    return false;
+}
+
+std::string Certificate::to_text() const {
+    std::ostringstream os;
+    os << "=== TeamPlay ETS Certificate ===\n"
+       << "application: " << app << "\nplatform:    " << platform << "\n"
+       << "verdict:     " << (all_hold() ? "ALL CONTRACTS HOLD" : "VIOLATION")
+       << (fully_static() ? " (statically proven)"
+                          : " (contains measured evidence)")
+       << "\n";
+    for (const auto& result : results) {
+        const bool time_like = result.property != Property::kSecurity;
+        const auto fmt = [&](double v) -> std::string {
+            if (result.property == Property::kTime)
+                return support::format_time(v);
+            if (result.property == Property::kEnergy)
+                return support::format_energy(v);
+            std::ostringstream tmp;
+            tmp << v;
+            return tmp.str();
+        };
+        os << "  [" << (result.holds ? "ok" : "FAIL") << "] " << result.poi
+           << "." << property_name(result.property) << ": analysed "
+           << fmt(result.analysed) << " vs budget " << fmt(result.budget)
+           << (result.measured_only ? " (measured)" : " (proven)") << "\n";
+        (void)time_like;
+    }
+    return os.str();
+}
+
+bool verify_certificate(const Certificate& certificate) {
+    for (const auto& result : certificate.results) {
+        if (!verify_proof(result.proof)) return false;
+        if (!(std::abs(result.analysed - result.proof.value) <=
+              1e-9 * std::max(1.0, std::abs(result.analysed))))
+            return false;
+        const bool should_hold = result.analysed <= result.budget;
+        if (result.holds != should_hold) return false;
+    }
+    return true;
+}
+
+namespace {
+
+/// Shared traversal for the time proof: value in cycles.
+ProofNode time_proof_node(const ir::Program& program, const ir::Node& node,
+                          const isa::TargetModel& model) {
+    using ir::NodeKind;
+    switch (node.kind) {
+        case NodeKind::kBlock: {
+            ProofNode leaf;
+            leaf.rule = ProofRule::kInstrCost;
+            for (const auto& instr : node.instrs)
+                leaf.value += model.cycles_of(isa::instr_class(instr.op));
+            leaf.note = std::to_string(node.instrs.size()) + " instrs";
+            return leaf;
+        }
+        case NodeKind::kSeq: {
+            ProofNode seq;
+            seq.rule = ProofRule::kSeq;
+            for (const auto& child : node.children) {
+                seq.children.push_back(
+                    time_proof_node(program, *child, model));
+                seq.value += seq.children.back().value;
+            }
+            return seq;
+        }
+        case NodeKind::kIf: {
+            ProofNode overhead;
+            overhead.rule = ProofRule::kOverhead;
+            overhead.value = model.branch_cycles;
+            overhead.note = "branch";
+
+            ProofNode alt;
+            alt.rule = ProofRule::kAlt;
+            alt.children.push_back(
+                time_proof_node(program, *node.then_branch, model));
+            if (node.else_branch) {
+                alt.children.push_back(
+                    time_proof_node(program, *node.else_branch, model));
+            } else {
+                ProofNode empty;
+                empty.rule = ProofRule::kInstrCost;
+                empty.note = "empty else";
+                alt.children.push_back(empty);
+            }
+            for (const auto& child : alt.children)
+                alt.value = std::max(alt.value, child.value);
+
+            ProofNode seq;
+            seq.rule = ProofRule::kSeq;
+            seq.value = overhead.value + alt.value;
+            seq.children.push_back(std::move(overhead));
+            seq.children.push_back(std::move(alt));
+            return seq;
+        }
+        case NodeKind::kLoop: {
+            ProofNode overhead;
+            overhead.rule = ProofRule::kOverhead;
+            overhead.value = model.loop_iter_cycles;
+            overhead.note = "loop iteration";
+
+            ProofNode body = time_proof_node(program, *node.body, model);
+            ProofNode iteration;
+            iteration.rule = ProofRule::kSeq;
+            iteration.value = overhead.value + body.value;
+            iteration.children.push_back(std::move(overhead));
+            iteration.children.push_back(std::move(body));
+
+            ProofNode loop;
+            loop.rule = ProofRule::kLoop;
+            loop.param = static_cast<double>(node.bound);
+            loop.value = loop.param * iteration.value;
+            loop.note = "bound=" + std::to_string(node.bound);
+            loop.children.push_back(std::move(iteration));
+            return loop;
+        }
+        case NodeKind::kCall: {
+            const ir::Function* callee = program.find(node.callee);
+            if (callee == nullptr)
+                throw std::runtime_error("proof: undefined callee '" +
+                                         node.callee + "'");
+            ProofNode overhead;
+            overhead.rule = ProofRule::kOverhead;
+            overhead.value = model.call_cycles;
+            overhead.note = "call " + node.callee;
+            ProofNode body = time_proof_node(program, *callee->body, model);
+            ProofNode call;
+            call.rule = ProofRule::kCall;
+            call.value = overhead.value + body.value;
+            call.note = node.callee;
+            call.children.push_back(std::move(overhead));
+            call.children.push_back(std::move(body));
+            return call;
+        }
+    }
+    return {};
+}
+
+/// Shared traversal for the worst-case dynamic energy proof: value in pJ at
+/// nominal voltage, matching energy::Analyser's worst case.
+ProofNode energy_proof_node(const ir::Program& program, const ir::Node& node,
+                            const isa::TargetModel& model) {
+    using ir::NodeKind;
+    switch (node.kind) {
+        case NodeKind::kBlock: {
+            ProofNode leaf;
+            leaf.rule = ProofRule::kInstrCost;
+            for (const auto& instr : node.instrs)
+                leaf.value += model.energy_of(isa::instr_class(instr.op)) +
+                              model.data_alpha_pj_per_bit *
+                                  energy::kWorstHammingBits;
+            leaf.note = std::to_string(node.instrs.size()) +
+                        " instrs (worst-case operands)";
+            return leaf;
+        }
+        case NodeKind::kSeq: {
+            ProofNode seq;
+            seq.rule = ProofRule::kSeq;
+            for (const auto& child : node.children) {
+                seq.children.push_back(
+                    energy_proof_node(program, *child, model));
+                seq.value += seq.children.back().value;
+            }
+            return seq;
+        }
+        case NodeKind::kIf: {
+            ProofNode overhead;
+            overhead.rule = ProofRule::kOverhead;
+            overhead.value = model.branch_energy_pj;
+            overhead.note = "branch";
+            ProofNode alt;
+            alt.rule = ProofRule::kAlt;
+            alt.children.push_back(
+                energy_proof_node(program, *node.then_branch, model));
+            if (node.else_branch) {
+                alt.children.push_back(
+                    energy_proof_node(program, *node.else_branch, model));
+            } else {
+                ProofNode empty;
+                empty.rule = ProofRule::kInstrCost;
+                empty.note = "empty else";
+                alt.children.push_back(empty);
+            }
+            for (const auto& child : alt.children)
+                alt.value = std::max(alt.value, child.value);
+            ProofNode seq;
+            seq.rule = ProofRule::kSeq;
+            seq.value = overhead.value + alt.value;
+            seq.children.push_back(std::move(overhead));
+            seq.children.push_back(std::move(alt));
+            return seq;
+        }
+        case NodeKind::kLoop: {
+            ProofNode overhead;
+            overhead.rule = ProofRule::kOverhead;
+            overhead.value = model.loop_iter_energy_pj;
+            overhead.note = "loop iteration";
+            ProofNode body = energy_proof_node(program, *node.body, model);
+            ProofNode iteration;
+            iteration.rule = ProofRule::kSeq;
+            iteration.value = overhead.value + body.value;
+            iteration.children.push_back(std::move(overhead));
+            iteration.children.push_back(std::move(body));
+            ProofNode loop;
+            loop.rule = ProofRule::kLoop;
+            loop.param = static_cast<double>(node.bound);
+            loop.value = loop.param * iteration.value;
+            loop.note = "bound=" + std::to_string(node.bound);
+            loop.children.push_back(std::move(iteration));
+            return loop;
+        }
+        case NodeKind::kCall: {
+            const ir::Function* callee = program.find(node.callee);
+            if (callee == nullptr)
+                throw std::runtime_error("proof: undefined callee '" +
+                                         node.callee + "'");
+            ProofNode overhead;
+            overhead.rule = ProofRule::kOverhead;
+            overhead.value = model.call_energy_pj;
+            overhead.note = "call " + node.callee;
+            ProofNode body = energy_proof_node(program, *callee->body, model);
+            ProofNode call;
+            call.rule = ProofRule::kCall;
+            call.value = overhead.value + body.value;
+            call.note = node.callee;
+            call.children.push_back(std::move(overhead));
+            call.children.push_back(std::move(body));
+            return call;
+        }
+    }
+    return {};
+}
+
+}  // namespace
+
+ProofNode build_time_proof_cycles(const ir::Program& program,
+                                  const std::string& function,
+                                  const isa::TargetModel& model) {
+    const ir::Function* fn = program.find(function);
+    if (fn == nullptr)
+        throw std::invalid_argument("proof: undefined function '" + function +
+                                    "'");
+    if (!model.predictable)
+        throw std::invalid_argument(
+            "proof: static time proof requires a predictable core");
+    return time_proof_node(program, *fn->body, model);
+}
+
+ProofNode scale_to_seconds(ProofNode cycles_proof, double freq_hz) {
+    ProofNode root;
+    root.rule = ProofRule::kScale;
+    root.param = 1.0 / freq_hz;
+    root.value = root.param * cycles_proof.value;
+    root.note = "cycles -> seconds at " + support::format_frequency(freq_hz);
+    root.children.push_back(std::move(cycles_proof));
+    return root;
+}
+
+ProofNode build_energy_proof_joules(const ir::Program& program,
+                                    const std::string& function,
+                                    const platform::Core& core,
+                                    std::size_t opp_index) {
+    const auto& point = core.opp(opp_index);
+
+    ProofNode dynamic_pj =
+        energy_proof_node(program, *program.find(function)->body, core.model);
+    ProofNode dynamic_j;
+    dynamic_j.rule = ProofRule::kScale;
+    dynamic_j.param = core.energy_scale(point) * 1e-12;
+    dynamic_j.value = dynamic_j.param * dynamic_pj.value;
+    dynamic_j.note = "pJ -> J with V^2 scaling at " +
+                     std::to_string(point.voltage) + " V";
+    dynamic_j.children.push_back(std::move(dynamic_pj));
+
+    ProofNode time_s = scale_to_seconds(
+        build_time_proof_cycles(program, function, core.model),
+        point.freq_hz);
+    ProofNode static_j;
+    static_j.rule = ProofRule::kScale;
+    static_j.param = point.static_power_w;
+    static_j.value = static_j.param * time_s.value;
+    static_j.note = "static power x WCET";
+    static_j.children.push_back(std::move(time_s));
+
+    ProofNode total;
+    total.rule = ProofRule::kSeq;
+    total.value = dynamic_j.value + static_j.value;
+    total.note = "dynamic + static";
+    total.children.push_back(std::move(dynamic_j));
+    total.children.push_back(std::move(static_j));
+    return total;
+}
+
+ProofNode measured_leaf(double value, const std::string& note) {
+    ProofNode leaf;
+    leaf.rule = ProofRule::kMeasured;
+    leaf.value = value;
+    leaf.note = note;
+    return leaf;
+}
+
+ProofNode leakage_leaf(double proxy, const std::string& note) {
+    ProofNode leaf;
+    leaf.rule = ProofRule::kStaticLeak;
+    leaf.value = proxy;
+    leaf.note = note;
+    return leaf;
+}
+
+}  // namespace teamplay::contracts

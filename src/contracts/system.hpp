@@ -1,0 +1,44 @@
+// Contract checking front-end: turns per-task budgets plus analysed/measured
+// evidence into a certificate with verified proof objects.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "contracts/certificate.hpp"
+#include "ir/program.hpp"
+#include "platform/platform.hpp"
+
+namespace teamplay::contracts {
+
+/// Evidence and budgets for one point of interest (one task).
+struct ContractInput {
+    std::string poi;       ///< task / POI name
+    std::string function;  ///< entry function in `program`
+    const ir::Program* program = nullptr;  ///< compiled version to analyse
+    const platform::Core* core = nullptr;
+    std::size_t opp_index = 0;
+
+    // Budgets; negative = no contract for that property.
+    double time_budget_s = -1.0;
+    double energy_budget_j = -1.0;
+    double leakage_budget = -1.0;
+
+    /// Complex flow: static proofs are impossible, supply measured
+    /// estimates instead (admitted via the kMeasured rule and flagged).
+    bool measured_only = false;
+    double measured_time_s = 0.0;
+    double measured_energy_j = 0.0;
+
+    /// Static leakage proxy from the taint analysis (filled by the caller).
+    double leakage_proxy = 0.0;
+};
+
+/// Check all contracts and assemble the certificate.  Every returned
+/// certificate satisfies verify_certificate() by construction.
+[[nodiscard]] Certificate check_contracts(
+    const std::string& app, const std::string& platform_name,
+    const std::vector<ContractInput>& inputs);
+
+}  // namespace teamplay::contracts

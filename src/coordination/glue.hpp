@@ -1,0 +1,35 @@
+// Glue-code generation (the "Coordination Decisions, Code Generator" box of
+// Figs. 1-2; the YASMIN middleware of Rouxel et al. [14]).
+//
+// From a task graph and a schedule, emits the initialisation, configuration
+// and runtime-management code the paper's toolchain generates: an
+// RTEMS-flavoured variant for the space use case, a POSIX/Linux variant for
+// the complex boards, and the plain sequential driver used as pass 1 of the
+// complex-architecture workflow (the instrumented profiling binary).
+//
+// The output is C-style source text; tests validate its structure (task
+// tables, affinities, priorities, semaphore wiring for dependencies).
+#pragma once
+
+#include <string>
+
+#include "coordination/scheduler.hpp"
+#include "coordination/task_graph.hpp"
+#include "platform/platform.hpp"
+
+namespace teamplay::coordination {
+
+enum class GlueStyle : std::uint8_t {
+    kSequential,  ///< pass-1 profiling driver: run tasks in topological order
+    kRtems,       ///< RTEMS task/ratemon configuration (GR712RC flow)
+    kPosix,       ///< pthreads + affinity + DVFS hints (TK1/TX2/Nano flow)
+};
+
+/// Render the glue code for an application.  For kSequential the schedule
+/// may be empty (only the graph's topological order is used).
+[[nodiscard]] std::string generate_glue(const TaskGraph& graph,
+                                        const Schedule& schedule,
+                                        const platform::Platform& platform,
+                                        GlueStyle style);
+
+}  // namespace teamplay::coordination

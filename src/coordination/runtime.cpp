@@ -1,0 +1,88 @@
+#include "coordination/runtime.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace teamplay::coordination {
+
+RuntimeResult execute_schedule(const TaskGraph& graph,
+                               const Schedule& schedule,
+                               const RuntimeOptions& options) {
+    RuntimeResult result;
+    support::Rng rng(options.seed);
+
+    // Replay in schedule order per core, respecting dependencies: actual
+    // start = max(core free, deps actually finished).
+    std::map<std::string, double> actual_finish;
+    std::map<std::size_t, double> core_free;
+
+    // Process entries by planned start so dependency producers come first
+    // (the static schedule guarantees this order is dependency-consistent).
+    std::vector<const ScheduleEntry*> ordered;
+    ordered.reserve(schedule.entries.size());
+    for (const auto& entry : schedule.entries) ordered.push_back(&entry);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const ScheduleEntry* a, const ScheduleEntry* b) {
+                  return a->start_s < b->start_s;
+              });
+
+    for (const ScheduleEntry* entry : ordered) {
+        const Task* task = graph.find(entry->task);
+        if (task == nullptr)
+            throw std::runtime_error("schedule references unknown task '" +
+                                     entry->task + "'");
+        double ready = core_free[entry->core];
+        for (const auto& dep : task->deps) {
+            const auto it = actual_finish.find(dep);
+            if (it == actual_finish.end())
+                throw std::runtime_error(
+                    "schedule order violates dependency: '" + dep +
+                    "' not finished before '" + entry->task + "'");
+            ready = std::max(ready, it->second);
+        }
+
+        const double planned = entry->finish_s - entry->start_s;
+        double duration = planned;
+        if (options.jitter_sigma > 0.0) {
+            const double factor =
+                std::max(0.2, 1.0 + rng.gaussian(0.0, options.jitter_sigma));
+            duration = planned * factor;
+        }
+        const double finish = ready + duration;
+        actual_finish[entry->task] = finish;
+        core_free[entry->core] = finish;
+
+        RuntimeTaskOutcome outcome;
+        outcome.task = entry->task;
+        outcome.start_s = ready;
+        outcome.finish_s = finish;
+        outcome.deadline_met =
+            task->deadline_s <= 0.0 || finish <= task->deadline_s;
+        if (!outcome.deadline_met) ++result.deadline_misses;
+        result.outcomes.push_back(std::move(outcome));
+        result.makespan_s = std::max(result.makespan_s, finish);
+    }
+    result.end_to_end_met = options.deadline_s <= 0.0 ||
+                            result.makespan_s <= options.deadline_s;
+    if (!result.end_to_end_met) ++result.deadline_misses;
+    return result;
+}
+
+double deadline_success_ratio(const TaskGraph& graph,
+                              const Schedule& schedule,
+                              const RuntimeOptions& options, int frames) {
+    if (frames <= 0) return 0.0;
+    int good = 0;
+    RuntimeOptions frame_options = options;
+    for (int f = 0; f < frames; ++f) {
+        frame_options.seed = options.seed + static_cast<std::uint64_t>(f);
+        const auto run = execute_schedule(graph, schedule, frame_options);
+        if (run.deadline_misses == 0 && run.end_to_end_met) ++good;
+    }
+    return static_cast<double>(good) / static_cast<double>(frames);
+}
+
+}  // namespace teamplay::coordination

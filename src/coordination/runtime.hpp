@@ -1,0 +1,56 @@
+// Runtime execution model of a coordinated application (the YASMIN
+// middleware's runtime half [14]).
+//
+// Replays a static schedule as a discrete-event simulation in which task
+// durations deviate from their budgeted times (none on predictable cores,
+// configurable jitter on complex ones), enforcing dependency and core
+// exclusivity constraints.  Reports per-task actual times and any deadline
+// misses — the toolchain's last validation step before signing the
+// certificate, and the mechanism behind the "soft deadline miss" statistics
+// of the UAV use case.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coordination/scheduler.hpp"
+#include "coordination/task_graph.hpp"
+
+namespace teamplay::coordination {
+
+struct RuntimeTaskOutcome {
+    std::string task;
+    double start_s = 0.0;
+    double finish_s = 0.0;
+    bool deadline_met = true;
+};
+
+struct RuntimeResult {
+    std::vector<RuntimeTaskOutcome> outcomes;
+    double makespan_s = 0.0;
+    int deadline_misses = 0;
+    bool end_to_end_met = true;
+};
+
+struct RuntimeOptions {
+    /// Multiplicative execution-time noise sigma (0 = deterministic replay).
+    double jitter_sigma = 0.0;
+    /// End-to-end deadline to check (0 = none).
+    double deadline_s = 0.0;
+    std::uint64_t seed = 1;
+};
+
+/// Execute one frame/iteration of the schedule.
+[[nodiscard]] RuntimeResult execute_schedule(const TaskGraph& graph,
+                                             const Schedule& schedule,
+                                             const RuntimeOptions& options);
+
+/// Execute `frames` iterations and return the fraction of frames in which
+/// every deadline held (the soft-real-time success ratio of the UAV flow).
+[[nodiscard]] double deadline_success_ratio(const TaskGraph& graph,
+                                            const Schedule& schedule,
+                                            const RuntimeOptions& options,
+                                            int frames);
+
+}  // namespace teamplay::coordination

@@ -1,0 +1,139 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/units.hpp"
+
+namespace teamplay::core {
+
+namespace {
+
+void advise_variants(const ToolchainReport& report,
+                     std::vector<Advice>& advice) {
+    for (const auto& entry : report.schedule.entries) {
+        const auto* deployed = report.chosen_version(entry.task);
+        if (deployed == nullptr) continue;
+        const compiler::TaskVersion* faster = nullptr;
+        const compiler::TaskVersion* frugal = nullptr;
+        for (const auto& front : report.fronts) {
+            if (front.task != entry.task) continue;
+            for (const auto& version : front.versions) {
+                if (version.time_s < deployed->time_s * 0.95 &&
+                    (faster == nullptr || version.time_s < faster->time_s))
+                    faster = &version;
+                if (version.energy_j < deployed->energy_j * 0.95 &&
+                    (frugal == nullptr ||
+                     version.energy_j < frugal->energy_j))
+                    frugal = &version;
+            }
+        }
+        if (faster != nullptr) {
+            const double gain = 1.0 - faster->time_s / deployed->time_s;
+            std::ostringstream os;
+            os << "task '" << entry.task << "': switching to "
+               << faster->config.label() << " cuts WCET by "
+               << support::format_percent(gain) << " (to "
+               << support::format_time(faster->time_s)
+               << ") at " << support::format_energy(faster->energy_j)
+               << " energy";
+            advice.push_back({AdviceKind::kFasterVariant, entry.task,
+                              os.str(), gain});
+        }
+        if (frugal != nullptr) {
+            const double gain = 1.0 - frugal->energy_j / deployed->energy_j;
+            std::ostringstream os;
+            os << "task '" << entry.task << "': switching to "
+               << frugal->config.label() << " saves "
+               << support::format_percent(gain) << " energy (to "
+               << support::format_energy(frugal->energy_j) << ") at "
+               << support::format_time(frugal->time_s) << " WCET";
+            advice.push_back({AdviceKind::kFrugalVariant, entry.task,
+                              os.str(), gain});
+        }
+    }
+}
+
+void advise_contracts(const ToolchainReport& report,
+                      std::vector<Advice>& advice) {
+    for (const auto& result : report.certificate.results) {
+        const auto prop = contracts::property_name(result.property);
+        if (!result.holds) {
+            std::ostringstream os;
+            os << "CONTRACT VIOLATED: " << result.poi << "." << prop
+               << " analysed " << result.analysed << " exceeds budget "
+               << result.budget
+               << "; tighten the implementation or renegotiate the budget";
+            advice.push_back(
+                {AdviceKind::kBrokenBudget, result.poi, os.str(), 1.0});
+            continue;
+        }
+        if (result.budget > 0.0) {
+            const double headroom = 1.0 - result.analysed / result.budget;
+            if (headroom < 0.2) {
+                std::ostringstream os;
+                os << "task '" << result.poi << "': " << prop
+                   << " budget has only "
+                   << support::format_percent(headroom)
+                   << " headroom left; future code growth will break the "
+                      "contract";
+                advice.push_back({AdviceKind::kTightBudget, result.poi,
+                                  os.str(), 1.0 - headroom});
+            }
+        }
+        if (result.measured_only) {
+            std::ostringstream os;
+            os << "task '" << result.poi << "': " << prop
+               << " bound rests on profiled evidence (complex core); "
+                  "consider pinning the task to a predictable core for a "
+                  "static proof";
+            advice.push_back({AdviceKind::kMeasuredEvidence, result.poi,
+                              os.str(), 0.3});
+        }
+    }
+}
+
+void advise_security(const ToolchainReport& report,
+                     std::vector<Advice>& advice) {
+    for (const auto& entry : report.schedule.entries) {
+        const auto* deployed = report.chosen_version(entry.task);
+        if (deployed == nullptr) continue;
+        if (deployed->leakage > 0.0 &&
+            deployed->config.security == compiler::SecurityLevel::kNone) {
+            std::ostringstream os;
+            os << "task '" << entry.task
+               << "': secret-dependent structures remain (leakage proxy "
+               << deployed->leakage
+               << ") and no countermeasure is enabled; consider 'security "
+                  "balance' or 'security ladder' in the CSL";
+            advice.push_back({AdviceKind::kSecurityGap, entry.task, os.str(),
+                              std::min(1.0, deployed->leakage / 8.0)});
+        }
+    }
+}
+
+}  // namespace
+
+std::vector<Advice> advise(const ToolchainReport& report) {
+    std::vector<Advice> advice;
+    advise_contracts(report, advice);
+    advise_security(report, advice);
+    advise_variants(report, advice);
+    std::stable_sort(advice.begin(), advice.end(),
+                     [](const Advice& a, const Advice& b) {
+                         return a.impact > b.impact;
+                     });
+    return advice;
+}
+
+std::string render_advice(const std::vector<Advice>& advice) {
+    if (advice.empty())
+        return "advisor: no findings — budgets comfortable, deployment on "
+               "the Pareto front\n";
+    std::ostringstream os;
+    os << "advisor: " << advice.size() << " finding(s)\n";
+    for (const auto& item : advice) os << "  * " << item.message << "\n";
+    return os.str();
+}
+
+}  // namespace teamplay::core

@@ -1,0 +1,43 @@
+// ETS refactoring advisor — the paper's stated future-work direction
+// ("program transformation techniques, such as refactoring tool support,
+// would be very applicable here and thus form a natural extension to our
+// methodology", Sec. V).
+//
+// Given a toolchain report, the advisor turns the raw Pareto fronts and
+// contract results into human-readable guidance: which configuration change
+// buys how much on which objective, which budgets are close to their limit,
+// and where a security countermeasure is still missing.  This is the
+// "clear, human-understandable feedback" the Transparency Challenge (Sec.
+// III-A) calls for.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/workflow.hpp"
+
+namespace teamplay::core {
+
+enum class AdviceKind : std::uint8_t {
+    kFasterVariant,    ///< a front variant beats the deployed one on time
+    kFrugalVariant,    ///< a front variant beats the deployed one on energy
+    kTightBudget,      ///< contract holds with < 20% headroom
+    kBrokenBudget,     ///< contract violated
+    kSecurityGap,      ///< secret-dependent structure with no countermeasure
+    kMeasuredEvidence, ///< bound rests on profiling, not proof
+};
+
+struct Advice {
+    AdviceKind kind;
+    std::string task;
+    std::string message;  ///< complete human-readable sentence
+    double impact = 0.0;  ///< relative improvement/headroom (0..1 scale)
+};
+
+/// Analyse a report and produce prioritised advice (largest impact first).
+[[nodiscard]] std::vector<Advice> advise(const ToolchainReport& report);
+
+/// Render the advice list as a text block for CLI/report output.
+[[nodiscard]] std::string render_advice(const std::vector<Advice>& advice);
+
+}  // namespace teamplay::core

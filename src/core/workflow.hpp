@@ -1,0 +1,96 @@
+// End-to-end toolchain drivers: the two workflows of the paper.
+//
+// PredictableWorkflow (Fig. 1): CSL -> multi-criteria compiler with static
+// WCET/energy/security analysers -> coordination (multi-version energy-aware
+// scheduling + glue code) -> contract system -> certificate.
+//
+// ComplexWorkflow (Fig. 2): CSL -> pass 1 (sequential glue + PowProfiler
+// dynamic profiling across cores and DVFS points) -> pass 2 (energy-aware
+// parallel schedule from the measured estimates) -> contracts admitted as
+// measured evidence -> certificate flagged "contains measured evidence".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/multi_criteria.hpp"
+#include "contracts/system.hpp"
+#include "coordination/glue.hpp"
+#include "coordination/runtime.hpp"
+#include "coordination/scheduler.hpp"
+#include "csl/csl.hpp"
+#include "platform/platform.hpp"
+#include "profiler/pow_profiler.hpp"
+
+namespace teamplay::core {
+
+/// Pareto front computed for one task on one core class.
+struct TaskFront {
+    std::string task;
+    std::string core_class;
+    std::vector<compiler::TaskVersion> versions;
+};
+
+struct ToolchainReport {
+    csl::AppSpec spec;
+    std::string platform_name;
+    coordination::TaskGraph graph;  ///< with versions attached
+    coordination::Schedule schedule;
+    contracts::Certificate certificate;
+    std::string glue_code;           ///< final (parallel) glue
+    std::string sequential_glue;     ///< pass-1 glue (complex flow only)
+    std::vector<TaskFront> fronts;
+    /// Per-core rate-monotonic analysis when the app is periodic.
+    std::map<std::size_t, coordination::RtaResult> rta;
+
+    /// Chosen compiled version for a scheduled task (predictable flow);
+    /// nullptr when versions came from profiling.
+    [[nodiscard]] const compiler::TaskVersion* chosen_version(
+        const std::string& task) const;
+
+    [[nodiscard]] std::string summary() const;
+};
+
+struct WorkflowOptions {
+    compiler::MultiCriteriaCompiler::Options compiler;
+    coordination::Scheduler::Options scheduler;
+    int profile_runs = 25;  ///< complex flow: measurements per (task, opp)
+    std::optional<coordination::GlueStyle> glue_style;  ///< default by board
+};
+
+class PredictableWorkflow {
+public:
+    /// The program must outlive the workflow.  Throws when the platform has
+    /// complex cores (use ComplexWorkflow) or the program is malformed.
+    PredictableWorkflow(const ir::Program& program,
+                        const platform::Platform& platform);
+
+    [[nodiscard]] ToolchainReport run(const csl::AppSpec& spec,
+                                      const WorkflowOptions& options = {});
+
+private:
+    const ir::Program* program_;
+    const platform::Platform* platform_;
+};
+
+class ComplexWorkflow {
+public:
+    ComplexWorkflow(const ir::Program& program,
+                    const platform::Platform& platform);
+
+    [[nodiscard]] ToolchainReport run(const csl::AppSpec& spec,
+                                      const WorkflowOptions& options = {});
+
+private:
+    const ir::Program* program_;
+    const platform::Platform* platform_;
+};
+
+/// Select the workflow matching the platform's architecture class.
+[[nodiscard]] ToolchainReport run_toolchain(
+    const ir::Program& program, const platform::Platform& platform,
+    const csl::AppSpec& spec, const WorkflowOptions& options = {});
+
+}  // namespace teamplay::core

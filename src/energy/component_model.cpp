@@ -1,0 +1,54 @@
+#include "energy/component_model.hpp"
+
+#include "support/stats.hpp"
+
+namespace teamplay::energy {
+
+double ComponentModel::predict_w(const std::vector<double>& u) const {
+    double p = idle_w;
+    const std::size_t n = std::min(u.size(), component_w.size());
+    for (std::size_t i = 0; i < n; ++i) p += u[i] * component_w[i];
+    return p;
+}
+
+ComponentModel fit_component_model(const std::vector<PowerSample>& samples) {
+    ComponentModel model;
+    if (samples.empty()) return model;
+    const std::size_t dims = samples.front().utilisation.size();
+
+    std::vector<std::vector<double>> rows;
+    std::vector<double> targets;
+    rows.reserve(samples.size());
+    targets.reserve(samples.size());
+    for (const auto& sample : samples) {
+        std::vector<double> row;
+        row.reserve(dims + 1);
+        row.push_back(1.0);  // intercept column -> idle power
+        for (std::size_t i = 0; i < dims; ++i)
+            row.push_back(i < sample.utilisation.size()
+                              ? sample.utilisation[i]
+                              : 0.0);
+        rows.push_back(std::move(row));
+        targets.push_back(sample.power_w);
+    }
+    const auto coeff = support::least_squares(rows, targets);
+    if (coeff.size() != dims + 1) return model;
+    model.idle_w = coeff[0];
+    model.component_w.assign(coeff.begin() + 1, coeff.end());
+    return model;
+}
+
+double component_model_mape(const ComponentModel& model,
+                            const std::vector<PowerSample>& samples) {
+    std::vector<double> predicted;
+    std::vector<double> actual;
+    predicted.reserve(samples.size());
+    actual.reserve(samples.size());
+    for (const auto& sample : samples) {
+        predicted.push_back(model.predict_w(sample.utilisation));
+        actual.push_back(sample.power_w);
+    }
+    return support::mape(predicted, actual);
+}
+
+}  // namespace teamplay::energy

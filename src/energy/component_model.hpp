@@ -1,0 +1,57 @@
+// Coarse-grained component-based energy modelling for complex platforms
+// (Seewald et al. [18][19], the PowProfiler model family).
+//
+// Complex boards cannot be modelled at the ISA level, so the paper's UAV
+// work models board power as  P = P_idle + sum_c u_c * P_c  where u_c is the
+// utilisation of component c (CPU cluster, GPU, ...).  The model is fitted
+// from coarse measurements and then drives in-flight battery-aware
+// scheduling decisions.  This module provides the model, its least-squares
+// fitting, and the battery / mission energy arithmetic used by the UAV use
+// case (flight time = battery / (mechanical power + electronics power)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace teamplay::energy {
+
+/// One power observation: component utilisations in [0,1] plus measured
+/// total power in watts.
+struct PowerSample {
+    std::vector<double> utilisation;
+    double power_w = 0.0;
+};
+
+/// P(u) = idle_w + sum_i u_i * component_w[i].
+struct ComponentModel {
+    double idle_w = 0.0;
+    std::vector<double> component_w;
+
+    [[nodiscard]] double predict_w(const std::vector<double>& u) const;
+};
+
+/// Least-squares fit (intercept = idle power).  All samples must have the
+/// same utilisation dimensionality; returns a default model for empty input.
+[[nodiscard]] ComponentModel fit_component_model(
+    const std::vector<PowerSample>& samples);
+
+/// MAPE of a component model over a sample set, in percent.
+[[nodiscard]] double component_model_mape(
+    const ComponentModel& model, const std::vector<PowerSample>& samples);
+
+/// Mission-level battery arithmetic for the UAV use cases.
+struct MissionPower {
+    double battery_wh = 0.0;        ///< usable battery energy
+    double mechanical_w = 0.0;      ///< propulsion (28 W when cruising [31])
+    double electronics_w = 0.0;     ///< compute payload (2..11 W band [31])
+
+    [[nodiscard]] double total_w() const {
+        return mechanical_w + electronics_w;
+    }
+    /// Flight endurance in seconds.
+    [[nodiscard]] double flight_time_s() const {
+        return total_w() > 0.0 ? battery_wh * 3600.0 / total_w() : 0.0;
+    }
+};
+
+}  // namespace teamplay::energy

@@ -1,0 +1,136 @@
+#include "energy/model_fit.hpp"
+
+#include "ir/builder.hpp"
+#include "sim/machine.hpp"
+#include "support/stats.hpp"
+
+namespace teamplay::energy {
+
+double FittedModel::predict_j(
+    const std::array<std::int64_t, isa::kNumInstrClasses>& counts) const {
+    double pj = 0.0;
+    for (int c = 0; c < isa::kNumInstrClasses; ++c)
+        pj += energy_pj[static_cast<std::size_t>(c)] *
+              static_cast<double>(counts[static_cast<std::size_t>(c)]);
+    return pj * 1e-12;
+}
+
+ir::Program make_calibration_suite(int kernels, std::uint64_t seed) {
+    support::Rng rng(seed);
+    ir::Program program;
+    program.memory_words = 512;
+
+    for (int k = 0; k < kernels; ++k) {
+        ir::FunctionBuilder b("cal" + std::to_string(k), 2);
+        // Each kernel repeats a randomly weighted mix of instruction
+        // classes.  Counts per class are drawn independently so the
+        // observation matrix has full column rank (a suite where every load
+        // pairs with a store, say, could not identify the two costs apart).
+        const int alu_ops = static_cast<int>(rng.range(1, 9));
+        const int mul_ops = static_cast<int>(rng.range(0, 5));
+        const int div_ops = static_cast<int>(rng.range(0, 2));
+        const int load_ops = static_cast<int>(rng.range(0, 5));
+        const int store_ops = static_cast<int>(rng.range(0, 5));
+        const int sel_ops = static_cast<int>(rng.range(0, 3));
+        const int mov_ops = static_cast<int>(rng.range(0, 4));
+
+        const auto trips = static_cast<std::int64_t>(rng.range(8, 40));
+        auto x = b.mov(b.param(0));
+        auto y = b.mov(b.param(1));
+        const auto i = b.loop_begin(trips);
+        const auto addr = b.and_imm(i, 255);
+        auto acc = b.add(x, y);
+        for (int n = 0; n < alu_ops; ++n) acc = b.bxor(acc, b.add(acc, i));
+        for (int n = 0; n < mul_ops; ++n) acc = b.mul(acc, y);
+        for (int n = 0; n < div_ops; ++n)
+            acc = b.div(acc, b.add_imm(i, 3));
+        for (int n = 0; n < load_ops; ++n) acc = b.add(acc, b.load(addr, n));
+        for (int n = 0; n < store_ops; ++n) b.store(addr, acc, n);
+        for (int n = 0; n < sel_ops; ++n) {
+            const auto flag = b.cmp_lt(acc, y);
+            acc = b.select(flag, acc, y);
+        }
+        for (int n = 0; n < mov_ops; ++n) acc = b.mov(acc);
+        x = b.mov(acc);
+        b.loop_end();
+        b.ret(x);
+        program.add(b.build());
+    }
+    return program;
+}
+
+std::vector<CalibrationSample> collect_samples(const ir::Program& suite,
+                                               const platform::Core& core,
+                                               std::size_t opp_index,
+                                               int repeats,
+                                               std::uint64_t seed) {
+    support::Rng rng(seed);
+    std::vector<CalibrationSample> samples;
+    samples.reserve(suite.functions.size() * static_cast<std::size_t>(repeats));
+
+    sim::Machine machine(suite, core, opp_index, seed);
+    for (const auto& [name, fn] : suite.functions) {
+        for (int r = 0; r < repeats; ++r) {
+            const std::vector<ir::Word> args = {
+                rng.range(0, 1 << 16), rng.range(1, 1 << 16)};
+            const auto run = machine.run(name, args);
+            CalibrationSample sample;
+            sample.class_counts = run.class_counts;
+            sample.dynamic_energy_j = run.dynamic_energy_j;
+            samples.push_back(sample);
+        }
+    }
+    return samples;
+}
+
+FittedModel fit_model(const std::vector<CalibrationSample>& samples) {
+    FittedModel model;
+    if (samples.empty()) return model;
+
+    // Classes never exercised by the calibration suite produce all-zero
+    // columns and a singular normal matrix; fit only the active ones.
+    std::vector<int> active;
+    for (int c = 0; c < isa::kNumInstrClasses; ++c) {
+        for (const auto& sample : samples) {
+            if (sample.class_counts[static_cast<std::size_t>(c)] != 0) {
+                active.push_back(c);
+                break;
+            }
+        }
+    }
+    if (active.empty()) return model;
+
+    std::vector<std::vector<double>> rows;
+    std::vector<double> targets;
+    rows.reserve(samples.size());
+    targets.reserve(samples.size());
+    for (const auto& sample : samples) {
+        std::vector<double> row;
+        row.reserve(active.size());
+        for (const int c : active)
+            row.push_back(static_cast<double>(
+                sample.class_counts[static_cast<std::size_t>(c)]));
+        rows.push_back(std::move(row));
+        targets.push_back(sample.dynamic_energy_j * 1e12);  // fit in pJ
+    }
+    const auto coeff = support::least_squares(rows, targets);
+    if (coeff.size() != active.size()) return model;
+    for (std::size_t i = 0; i < active.size(); ++i)
+        model.energy_pj[static_cast<std::size_t>(active[i])] = coeff[i];
+    return model;
+}
+
+double model_mape(const FittedModel& model,
+                  const std::vector<CalibrationSample>& samples) {
+    std::vector<double> predicted;
+    std::vector<double> actual;
+    predicted.reserve(samples.size());
+    actual.reserve(samples.size());
+    for (const auto& sample : samples) {
+        predicted.push_back(model.predict_j(sample.class_counts));
+        actual.push_back(sample.dynamic_energy_j);
+    }
+    return support::mape(predicted, actual);
+}
+
+}  // namespace teamplay::energy

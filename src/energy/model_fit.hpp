@@ -1,0 +1,62 @@
+// Energy-model construction methodology (the Energy Modelling Challenge,
+// Sec. III-B; Nikov et al. [8], Georgiou et al. [9]).
+//
+// The paper's models are built by running calibration workloads on the board
+// while measuring power, then regressing per-instruction-class energy costs.
+// We reproduce that loop faithfully against the simulated board: generate
+// kernels with varied instruction mixes, "measure" them on the Machine
+// (whose ground truth includes data-dependent components the regression
+// cannot see, so the fit has realistic residuals), and solve for the
+// per-class costs by least squares.  Bench A3 reports the resulting MAPE,
+// which is the paper's "robust and accurate" claim.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "platform/platform.hpp"
+#include "support/rng.hpp"
+
+namespace teamplay::energy {
+
+/// One calibration observation: how many instructions of each class ran, and
+/// the measured dynamic energy.
+struct CalibrationSample {
+    std::array<std::int64_t, isa::kNumInstrClasses> class_counts{};
+    double dynamic_energy_j = 0.0;
+};
+
+/// A fitted ISA-level model: energy per instruction class, in picojoules at
+/// the operating point the samples were collected at.
+struct FittedModel {
+    std::array<double, isa::kNumInstrClasses> energy_pj{};
+
+    /// Predict the dynamic energy of a run from its class counts.
+    [[nodiscard]] double predict_j(
+        const std::array<std::int64_t, isa::kNumInstrClasses>& counts) const;
+};
+
+/// Generate a synthetic calibration suite: `kernels` functions with varied
+/// instruction mixes (ALU-heavy, memory-heavy, multiply-heavy, balanced...),
+/// each a few hundred executed instructions.  Function names are "cal0",
+/// "cal1", ...
+[[nodiscard]] ir::Program make_calibration_suite(int kernels,
+                                                 std::uint64_t seed);
+
+/// Run every calibration kernel `repeats` times on the core (random inputs)
+/// and record (class counts, measured dynamic energy) pairs.
+[[nodiscard]] std::vector<CalibrationSample> collect_samples(
+    const ir::Program& suite, const platform::Core& core,
+    std::size_t opp_index, int repeats, std::uint64_t seed);
+
+/// Least-squares fit of per-class energies from calibration samples.
+[[nodiscard]] FittedModel fit_model(
+    const std::vector<CalibrationSample>& samples);
+
+/// Mean absolute percentage error of a model on a sample set.
+[[nodiscard]] double model_mape(const FittedModel& model,
+                                const std::vector<CalibrationSample>& samples);
+
+}  // namespace teamplay::energy

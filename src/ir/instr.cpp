@@ -1,0 +1,39 @@
+#include "ir/instr.hpp"
+
+namespace teamplay::ir {
+
+std::string_view opcode_name(Opcode op) {
+    switch (op) {
+        case Opcode::kNop: return "nop";
+        case Opcode::kMovImm: return "movi";
+        case Opcode::kMov: return "mov";
+        case Opcode::kAdd: return "add";
+        case Opcode::kSub: return "sub";
+        case Opcode::kMul: return "mul";
+        case Opcode::kDiv: return "div";
+        case Opcode::kRem: return "rem";
+        case Opcode::kAnd: return "and";
+        case Opcode::kOr: return "or";
+        case Opcode::kXor: return "xor";
+        case Opcode::kShl: return "shl";
+        case Opcode::kShr: return "shr";
+        case Opcode::kNot: return "not";
+        case Opcode::kNeg: return "neg";
+        case Opcode::kCmpEq: return "cmpeq";
+        case Opcode::kCmpNe: return "cmpne";
+        case Opcode::kCmpLt: return "cmplt";
+        case Opcode::kCmpLe: return "cmple";
+        case Opcode::kCmpGt: return "cmpgt";
+        case Opcode::kCmpGe: return "cmpge";
+        case Opcode::kMin: return "min";
+        case Opcode::kMax: return "max";
+        case Opcode::kAbs: return "abs";
+        case Opcode::kPopcnt: return "popcnt";
+        case Opcode::kLoad: return "load";
+        case Opcode::kStore: return "store";
+        case Opcode::kSelect: return "select";
+    }
+    return "?";
+}
+
+}  // namespace teamplay::ir

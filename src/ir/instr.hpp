@@ -1,0 +1,108 @@
+// Three-address instructions of the TeamPlay intermediate representation.
+//
+// The IR models the "extracted C" level of the paper's workflows (Fig. 1/2):
+// concrete enough that a cycle-approximate simulator can execute it and an
+// ISA-level cost model can price it, abstract enough that compiler passes
+// stay simple.  Registers are virtual and function-local; memory is a flat
+// word-addressed array shared by all functions of a program.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace teamplay::ir {
+
+/// Virtual register id.  Parameters of a function occupy r0..r(n-1).
+using Reg = std::int32_t;
+
+/// Sentinel for "no register".
+inline constexpr Reg kNoReg = -1;
+
+/// Machine word. All IR arithmetic is 64-bit two's complement; narrower
+/// target behaviour (e.g. 32-bit Cortex-M0 registers) is modelled by the
+/// cost tables, not by the value semantics.
+using Word = std::int64_t;
+
+enum class Opcode : std::uint8_t {
+    kNop,
+    kMovImm,  ///< dst = imm
+    kMov,     ///< dst = a
+    kAdd,     ///< dst = a + b
+    kSub,     ///< dst = a - b
+    kMul,     ///< dst = a * b
+    kDiv,     ///< dst = a / b   (b == 0 yields 0, as a trap-free model)
+    kRem,     ///< dst = a % b   (b == 0 yields 0)
+    kAnd,     ///< dst = a & b
+    kOr,      ///< dst = a | b
+    kXor,     ///< dst = a ^ b
+    kShl,     ///< dst = a << (b & 63)
+    kShr,     ///< dst = (unsigned)a >> (b & 63)
+    kNot,     ///< dst = ~a
+    kNeg,     ///< dst = -a
+    kCmpEq,   ///< dst = (a == b)
+    kCmpNe,   ///< dst = (a != b)
+    kCmpLt,   ///< dst = (a < b)  signed
+    kCmpLe,   ///< dst = (a <= b) signed
+    kCmpGt,   ///< dst = (a > b)  signed
+    kCmpGe,   ///< dst = (a >= b) signed
+    kMin,     ///< dst = min(a, b) signed
+    kMax,     ///< dst = max(a, b) signed
+    kAbs,     ///< dst = |a|
+    kPopcnt,  ///< dst = popcount(a)
+    kLoad,    ///< dst = mem[a + imm]
+    kStore,   ///< mem[a + imm] = b
+    kSelect,  ///< dst = c ? a : b   (branch-free conditional move)
+};
+
+/// Number of opcodes; used to size per-opcode tables.
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kSelect) + 1;
+
+/// One IR instruction.  Fields that an opcode does not use hold kNoReg/0.
+struct Instr {
+    Opcode op = Opcode::kNop;
+    Reg dst = kNoReg;
+    Reg a = kNoReg;
+    Reg b = kNoReg;
+    Reg c = kNoReg;   ///< third source, only kSelect (the condition)
+    Word imm = 0;     ///< immediate for kMovImm and the Load/Store offset
+    bool secret = false;  ///< taint source: dst carries secret data from here
+};
+
+/// Mnemonic for diagnostics and the IR printer.
+[[nodiscard]] std::string_view opcode_name(Opcode op);
+
+/// True for opcodes that write `dst`.
+[[nodiscard]] constexpr bool writes_dst(Opcode op) {
+    return op != Opcode::kNop && op != Opcode::kStore;
+}
+
+/// True for opcodes that read operand `a` / `b` / `c`.
+[[nodiscard]] constexpr bool reads_a(Opcode op) {
+    return op != Opcode::kNop && op != Opcode::kMovImm;
+}
+[[nodiscard]] constexpr bool reads_b(Opcode op) {
+    switch (op) {
+        case Opcode::kNop:
+        case Opcode::kMovImm:
+        case Opcode::kMov:
+        case Opcode::kNot:
+        case Opcode::kNeg:
+        case Opcode::kAbs:
+        case Opcode::kPopcnt:
+        case Opcode::kLoad:
+            return false;
+        default:
+            return true;
+    }
+}
+[[nodiscard]] constexpr bool reads_c(Opcode op) {
+    return op == Opcode::kSelect;
+}
+
+/// True for the pure register-to-register computations (no memory access),
+/// the set the security optimiser may freely duplicate when ladderising.
+[[nodiscard]] constexpr bool is_pure(Opcode op) {
+    return op != Opcode::kLoad && op != Opcode::kStore;
+}
+
+}  // namespace teamplay::ir

@@ -1,0 +1,129 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+namespace teamplay::ir {
+
+namespace {
+
+void print_reg(std::ostream& os, Reg r) {
+    if (r == kNoReg)
+        os << "_";
+    else
+        os << "r" << r;
+}
+
+void print_node(std::ostream& os, const Node& node, int depth) {
+    const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+    switch (node.kind) {
+        case NodeKind::kBlock:
+            for (const auto& instr : node.instrs)
+                os << pad << to_string(instr) << "\n";
+            break;
+        case NodeKind::kSeq:
+            for (const auto& child : node.children)
+                print_node(os, *child, depth);
+            break;
+        case NodeKind::kIf:
+            os << pad << "if ";
+            print_reg(os, node.cond);
+            os << " {\n";
+            print_node(os, *node.then_branch, depth + 1);
+            if (node.else_branch) {
+                os << pad << "} else {\n";
+                print_node(os, *node.else_branch, depth + 1);
+            }
+            os << pad << "}\n";
+            break;
+        case NodeKind::kLoop:
+            os << pad << "loop ";
+            print_reg(os, node.index_reg);
+            if (node.trip_reg != kNoReg) {
+                os << " trip=";
+                print_reg(os, node.trip_reg);
+            } else {
+                os << " trip=" << node.trip;
+            }
+            os << " bound=" << node.bound << " {\n";
+            print_node(os, *node.body, depth + 1);
+            os << pad << "}\n";
+            break;
+        case NodeKind::kCall:
+            os << pad;
+            print_reg(os, node.ret);
+            os << " = call " << node.callee << "(";
+            for (std::size_t i = 0; i < node.args.size(); ++i) {
+                if (i != 0) os << ", ";
+                print_reg(os, node.args[i]);
+            }
+            os << ")\n";
+            break;
+    }
+}
+
+}  // namespace
+
+std::string to_string(const Instr& instr) {
+    std::ostringstream os;
+    switch (instr.op) {
+        case Opcode::kNop:
+            os << "nop";
+            break;
+        case Opcode::kMovImm:
+            print_reg(os, instr.dst);
+            os << " = " << instr.imm;
+            break;
+        case Opcode::kStore:
+            os << "mem[";
+            print_reg(os, instr.a);
+            os << "+" << instr.imm << "] = ";
+            print_reg(os, instr.b);
+            break;
+        case Opcode::kLoad:
+            print_reg(os, instr.dst);
+            os << " = mem[";
+            print_reg(os, instr.a);
+            os << "+" << instr.imm << "]";
+            break;
+        case Opcode::kSelect:
+            print_reg(os, instr.dst);
+            os << " = select ";
+            print_reg(os, instr.c);
+            os << " ? ";
+            print_reg(os, instr.a);
+            os << " : ";
+            print_reg(os, instr.b);
+            break;
+        default:
+            print_reg(os, instr.dst);
+            os << " = " << opcode_name(instr.op) << " ";
+            print_reg(os, instr.a);
+            if (reads_b(instr.op)) {
+                os << ", ";
+                print_reg(os, instr.b);
+            }
+            break;
+    }
+    if (instr.secret) os << "  ; secret";
+    return os.str();
+}
+
+std::string to_string(const Function& fn) {
+    std::ostringstream os;
+    os << "func " << fn.name << "(params=" << fn.param_count
+       << ") regs=" << fn.reg_count << " ret=";
+    print_reg(os, fn.ret_reg);
+    os << " {\n";
+    if (fn.body) print_node(os, *fn.body, 1);
+    os << "}\n";
+    return os.str();
+}
+
+std::string to_string(const Program& program) {
+    std::ostringstream os;
+    os << "program memory_words=" << program.memory_words << "\n";
+    for (const auto& [name, fn] : program.functions) os << to_string(fn);
+    return os.str();
+}
+
+}  // namespace teamplay::ir

@@ -1,0 +1,19 @@
+// Textual dump of IR functions and programs, for diagnostics and tests.
+#pragma once
+
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace teamplay::ir {
+
+/// Render one function as indented structured text.
+[[nodiscard]] std::string to_string(const Function& fn);
+
+/// Render a whole program (functions in name order).
+[[nodiscard]] std::string to_string(const Program& program);
+
+/// Render one instruction, e.g. "r5 = add r3, r4".
+[[nodiscard]] std::string to_string(const Instr& instr);
+
+}  // namespace teamplay::ir

@@ -1,0 +1,80 @@
+#include "ir/program.hpp"
+
+namespace teamplay::ir {
+
+NodePtr Node::block(std::vector<Instr> instrs) {
+    auto node = std::make_unique<Node>();
+    node->kind = NodeKind::kBlock;
+    node->instrs = std::move(instrs);
+    return node;
+}
+
+NodePtr Node::seq(std::vector<NodePtr> children) {
+    auto node = std::make_unique<Node>();
+    node->kind = NodeKind::kSeq;
+    node->children = std::move(children);
+    return node;
+}
+
+NodePtr Node::make_if(Reg cond, NodePtr then_branch, NodePtr else_branch) {
+    auto node = std::make_unique<Node>();
+    node->kind = NodeKind::kIf;
+    node->cond = cond;
+    node->then_branch = std::move(then_branch);
+    node->else_branch = std::move(else_branch);
+    return node;
+}
+
+NodePtr Node::loop(std::int64_t trip, std::int64_t bound, Reg index_reg,
+                   NodePtr body) {
+    auto node = std::make_unique<Node>();
+    node->kind = NodeKind::kLoop;
+    node->trip = trip;
+    node->bound = bound;
+    node->index_reg = index_reg;
+    node->body = std::move(body);
+    return node;
+}
+
+NodePtr Node::dynamic_loop(Reg trip_reg, std::int64_t bound, Reg index_reg,
+                           NodePtr body) {
+    auto node = std::make_unique<Node>();
+    node->kind = NodeKind::kLoop;
+    node->trip_reg = trip_reg;
+    node->bound = bound;
+    node->index_reg = index_reg;
+    node->body = std::move(body);
+    return node;
+}
+
+NodePtr Node::call(std::string callee, std::vector<Reg> args, Reg ret) {
+    auto node = std::make_unique<Node>();
+    node->kind = NodeKind::kCall;
+    node->callee = std::move(callee);
+    node->args = std::move(args);
+    node->ret = ret;
+    return node;
+}
+
+NodePtr Node::clone() const {
+    auto copy = std::make_unique<Node>();
+    copy->kind = kind;
+    copy->instrs = instrs;
+    copy->children.reserve(children.size());
+    for (const auto& child : children) copy->children.push_back(child->clone());
+    copy->cond = cond;
+    if (then_branch) copy->then_branch = then_branch->clone();
+    if (else_branch) copy->else_branch = else_branch->clone();
+    if (body) copy->body = body->clone();
+    copy->trip = trip;
+    copy->bound = bound;
+    copy->trip_reg = trip_reg;
+    copy->index_reg = index_reg;
+    copy->stride = stride;
+    copy->callee = callee;
+    copy->args = args;
+    copy->ret = ret;
+    return copy;
+}
+
+}  // namespace teamplay::ir

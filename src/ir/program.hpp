@@ -1,0 +1,142 @@
+// Structured program representation: a region tree instead of a raw CFG.
+//
+// Every function body is a tree of Seq / Block / If / Loop / Call regions.
+// The choice is deliberate (DESIGN.md §5.1): the WCET and energy analyses and
+// the contract proof rules all become compositional over this tree (seq, alt,
+// loop, call), mirroring the dependent-type structure of the paper's
+// Non-functional Properties Contract System.  Compiler passes transform the
+// tree; the simulator interprets it directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instr.hpp"
+
+namespace teamplay::ir {
+
+enum class NodeKind : std::uint8_t {
+    kBlock,  ///< straight-line instruction sequence
+    kSeq,    ///< ordered children
+    kIf,     ///< two-way branch on a register
+    kLoop,   ///< counted loop with a static analysis bound
+    kCall,   ///< call to another function of the program
+};
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+/// One region of a function body.  Fields not used by a kind stay empty; the
+/// factory functions below are the only intended way to construct nodes.
+struct Node {
+    NodeKind kind = NodeKind::kBlock;
+
+    // kBlock
+    std::vector<Instr> instrs;
+
+    // kSeq
+    std::vector<NodePtr> children;
+
+    // kIf
+    Reg cond = kNoReg;
+    NodePtr then_branch;
+    NodePtr else_branch;  ///< may be null (no else)
+
+    // kLoop
+    NodePtr body;
+    std::int64_t trip = 0;    ///< executed iterations when trip_reg unset
+    std::int64_t bound = 0;   ///< static analysis bound, >= any dynamic trip
+    Reg trip_reg = kNoReg;    ///< dynamic trip count read at loop entry
+    Reg index_reg = kNoReg;   ///< holds the iteration index inside the body
+    /// Iteration i publishes i*stride in index_reg.  1 for source loops; the
+    /// unrolling pass multiplies it so replicated bodies keep their original
+    /// index arithmetic.
+    std::int64_t stride = 1;
+
+    // kCall
+    std::string callee;
+    std::vector<Reg> args;  ///< caller registers copied to callee r0..rn-1
+    Reg ret = kNoReg;       ///< caller register receiving callee result
+
+    [[nodiscard]] static NodePtr block(std::vector<Instr> instrs);
+    [[nodiscard]] static NodePtr seq(std::vector<NodePtr> children);
+    [[nodiscard]] static NodePtr make_if(Reg cond, NodePtr then_branch,
+                                         NodePtr else_branch);
+    [[nodiscard]] static NodePtr loop(std::int64_t trip, std::int64_t bound,
+                                      Reg index_reg, NodePtr body);
+    [[nodiscard]] static NodePtr dynamic_loop(Reg trip_reg, std::int64_t bound,
+                                              Reg index_reg, NodePtr body);
+    [[nodiscard]] static NodePtr call(std::string callee,
+                                      std::vector<Reg> args, Reg ret);
+
+    /// Deep copy.
+    [[nodiscard]] NodePtr clone() const;
+};
+
+/// A function: parameters arrive in r0..r(param_count-1); the return value,
+/// if any, is read from `ret_reg` after the body finishes.
+struct Function {
+    std::string name;
+    int param_count = 0;
+    int reg_count = 0;  ///< registers used; register file size for execution
+    Reg ret_reg = kNoReg;
+    NodePtr body;  ///< always a kSeq node
+
+    Function() = default;
+    Function(Function&&) = default;
+    Function& operator=(Function&&) = default;
+    Function(const Function& other) { *this = other; }
+    Function& operator=(const Function& other) {
+        if (this != &other) {
+            name = other.name;
+            param_count = other.param_count;
+            reg_count = other.reg_count;
+            ret_reg = other.ret_reg;
+            body = other.body ? other.body->clone() : nullptr;
+        }
+        return *this;
+    }
+};
+
+/// A whole program: functions by name plus the flat shared memory size the
+/// program needs (in 64-bit words).
+struct Program {
+    std::map<std::string, Function> functions;
+    std::size_t memory_words = 4096;
+
+    [[nodiscard]] const Function* find(const std::string& name) const {
+        const auto it = functions.find(name);
+        return it == functions.end() ? nullptr : &it->second;
+    }
+    [[nodiscard]] Function* find(const std::string& name) {
+        const auto it = functions.find(name);
+        return it == functions.end() ? nullptr : &it->second;
+    }
+    void add(Function fn) { functions[fn.name] = std::move(fn); }
+};
+
+/// Pre-order traversal over every node of a tree.  NodeT is Node or
+/// const Node; Fn receives NodeT&.
+template <typename NodeT, typename Fn>
+void visit(NodeT& node, Fn&& fn) {
+    fn(node);
+    for (auto& child : node.children) visit(*child, fn);
+    if (node.then_branch) visit(*node.then_branch, fn);
+    if (node.else_branch) visit(*node.else_branch, fn);
+    if (node.body) visit(*node.body, fn);
+}
+
+/// Visit every instruction of a tree (blocks only), in pre-order.
+template <typename NodeT, typename Fn>
+void for_each_instr(NodeT& node, Fn&& fn) {
+    visit(node, [&fn](auto& n) {
+        if (n.kind == NodeKind::kBlock)
+            for (auto& instr : n.instrs) fn(instr);
+    });
+}
+
+}  // namespace teamplay::ir

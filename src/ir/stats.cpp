@@ -1,0 +1,65 @@
+#include "ir/stats.hpp"
+
+#include <algorithm>
+
+namespace teamplay::ir {
+
+namespace {
+
+void walk(const Program* program, const Node& node, std::int64_t weight,
+          int depth, TreeStats& stats) {
+    switch (node.kind) {
+        case NodeKind::kBlock:
+            for (const auto& instr : node.instrs) {
+                ++stats.static_instrs;
+                stats.weighted_instrs += weight;
+                ++stats.per_opcode[static_cast<std::size_t>(instr.op)];
+                if (instr.secret) ++stats.secret_sources;
+            }
+            break;
+        case NodeKind::kSeq:
+            for (const auto& child : node.children)
+                walk(program, *child, weight, depth, stats);
+            break;
+        case NodeKind::kIf:
+            ++stats.branches;
+            walk(program, *node.then_branch, weight, depth, stats);
+            if (node.else_branch)
+                walk(program, *node.else_branch, weight, depth, stats);
+            break;
+        case NodeKind::kLoop: {
+            ++stats.loops;
+            stats.max_loop_depth = std::max(stats.max_loop_depth, depth + 1);
+            const std::int64_t trips =
+                node.trip_reg != kNoReg ? node.bound : node.trip;
+            walk(program, *node.body, weight * std::max<std::int64_t>(trips, 0),
+                 depth + 1, stats);
+            break;
+        }
+        case NodeKind::kCall: {
+            ++stats.calls;
+            if (program != nullptr) {
+                const Function* callee = program->find(node.callee);
+                if (callee != nullptr && callee->body)
+                    walk(program, *callee->body, weight, depth, stats);
+            }
+            break;
+        }
+    }
+}
+
+}  // namespace
+
+TreeStats analyze(const Function& fn) {
+    TreeStats stats;
+    if (fn.body) walk(nullptr, *fn.body, 1, 0, stats);
+    return stats;
+}
+
+TreeStats analyze_expanded(const Program& program, const Function& fn) {
+    TreeStats stats;
+    if (fn.body) walk(&program, *fn.body, 1, 0, stats);
+    return stats;
+}
+
+}  // namespace teamplay::ir

@@ -1,0 +1,30 @@
+// Static shape statistics over IR trees (used by reports and tests).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ir/program.hpp"
+
+namespace teamplay::ir {
+
+struct TreeStats {
+    std::int64_t static_instrs = 0;     ///< instructions in the tree text
+    std::int64_t weighted_instrs = 0;   ///< instructions weighted by loop trips
+    std::array<std::int64_t, kNumOpcodes> per_opcode{};
+    int max_loop_depth = 0;
+    int loops = 0;
+    int branches = 0;
+    int calls = 0;
+    int secret_sources = 0;  ///< instructions flagged as taint roots
+};
+
+/// Statistics for one function body (calls are counted, not expanded).
+[[nodiscard]] TreeStats analyze(const Function& fn);
+
+/// Statistics for a function with callees expanded (recursion-free programs
+/// only; call weights multiply by the surrounding loop trip counts).
+[[nodiscard]] TreeStats analyze_expanded(const Program& program,
+                                         const Function& fn);
+
+}  // namespace teamplay::ir

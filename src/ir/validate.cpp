@@ -1,0 +1,168 @@
+#include "ir/validate.hpp"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace teamplay::ir {
+
+namespace {
+
+void check_reg(const Function& fn, Reg r, bool allow_none, const char* what,
+               std::vector<std::string>& errors) {
+    if (r == kNoReg) {
+        if (!allow_none) {
+            std::ostringstream os;
+            os << fn.name << ": missing register for " << what;
+            errors.push_back(os.str());
+        }
+        return;
+    }
+    if (r < 0 || r >= fn.reg_count) {
+        std::ostringstream os;
+        os << fn.name << ": register r" << r << " out of range for " << what
+           << " (reg_count=" << fn.reg_count << ")";
+        errors.push_back(os.str());
+    }
+}
+
+void check_node(const Program& program, const Function& fn, const Node& node,
+                std::vector<std::string>& errors) {
+    switch (node.kind) {
+        case NodeKind::kBlock:
+            for (const auto& instr : node.instrs) {
+                if (writes_dst(instr.op))
+                    check_reg(fn, instr.dst, false, "dst", errors);
+                if (reads_a(instr.op))
+                    check_reg(fn, instr.a, false, "operand a", errors);
+                if (reads_b(instr.op))
+                    check_reg(fn, instr.b, false, "operand b", errors);
+                if (reads_c(instr.op))
+                    check_reg(fn, instr.c, false, "operand c", errors);
+            }
+            break;
+        case NodeKind::kSeq:
+            for (const auto& child : node.children)
+                check_node(program, fn, *child, errors);
+            break;
+        case NodeKind::kIf:
+            check_reg(fn, node.cond, false, "if condition", errors);
+            if (!node.then_branch) {
+                errors.push_back(fn.name + ": if node without then branch");
+            } else {
+                check_node(program, fn, *node.then_branch, errors);
+            }
+            if (node.else_branch)
+                check_node(program, fn, *node.else_branch, errors);
+            break;
+        case NodeKind::kLoop: {
+            if (!node.body) {
+                errors.push_back(fn.name + ": loop node without body");
+                break;
+            }
+            if (node.trip_reg != kNoReg) {
+                check_reg(fn, node.trip_reg, false, "loop trip reg", errors);
+                if (node.bound <= 0)
+                    errors.push_back(fn.name +
+                                     ": dynamic loop requires bound > 0");
+            } else if (node.bound < node.trip) {
+                std::ostringstream os;
+                os << fn.name << ": loop bound " << node.bound
+                   << " below trip count " << node.trip;
+                errors.push_back(os.str());
+            }
+            check_reg(fn, node.index_reg, true, "loop index reg", errors);
+            check_node(program, fn, *node.body, errors);
+            break;
+        }
+        case NodeKind::kCall: {
+            const Function* callee = program.find(node.callee);
+            if (callee == nullptr) {
+                errors.push_back(fn.name + ": call to undefined function '" +
+                                 node.callee + "'");
+                break;
+            }
+            if (static_cast<int>(node.args.size()) != callee->param_count) {
+                std::ostringstream os;
+                os << fn.name << ": call to " << node.callee << " passes "
+                   << node.args.size() << " args, expected "
+                   << callee->param_count;
+                errors.push_back(os.str());
+            }
+            for (const Reg arg : node.args)
+                check_reg(fn, arg, false, "call argument", errors);
+            check_reg(fn, node.ret, true, "call result", errors);
+            break;
+        }
+    }
+}
+
+/// Depth-first recursion check over the static call graph.
+bool find_cycle(const Program& program, const std::string& name,
+                std::set<std::string>& on_stack,
+                std::set<std::string>& done) {
+    if (done.contains(name)) return false;
+    if (!on_stack.insert(name).second) return true;
+    const Function* fn = program.find(name);
+    bool cyclic = false;
+    if (fn != nullptr && fn->body) {
+        visit(*fn->body, [&](const Node& node) {
+            if (node.kind == NodeKind::kCall && !cyclic)
+                cyclic = find_cycle(program, node.callee, on_stack, done);
+        });
+    }
+    on_stack.erase(name);
+    done.insert(name);
+    return cyclic;
+}
+
+}  // namespace
+
+std::vector<std::string> validate_function(const Program& program,
+                                           const Function& fn) {
+    std::vector<std::string> errors;
+    if (fn.name.empty()) errors.emplace_back("function with empty name");
+    if (fn.param_count > fn.reg_count) {
+        errors.push_back(fn.name + ": param_count exceeds reg_count");
+    }
+    if (!fn.body) {
+        errors.push_back(fn.name + ": missing body");
+        return errors;
+    }
+    check_reg(fn, fn.ret_reg, true, "return value", errors);
+    check_node(program, fn, *fn.body, errors);
+    return errors;
+}
+
+std::vector<std::string> validate(const Program& program) {
+    std::vector<std::string> errors;
+    for (const auto& [name, fn] : program.functions) {
+        if (name != fn.name)
+            errors.push_back("program key '" + name +
+                             "' does not match function name '" + fn.name +
+                             "'");
+        auto fn_errors = validate_function(program, fn);
+        errors.insert(errors.end(), fn_errors.begin(), fn_errors.end());
+    }
+    for (const auto& [name, fn] : program.functions) {
+        std::set<std::string> on_stack;
+        std::set<std::string> done;
+        if (find_cycle(program, name, on_stack, done)) {
+            errors.push_back("recursion detected reachable from '" + name +
+                             "' (recursion is not supported: WCET "
+                             "composition would not terminate)");
+            break;
+        }
+    }
+    return errors;
+}
+
+void validate_or_throw(const Program& program) {
+    const auto errors = validate(program);
+    if (errors.empty()) return;
+    std::string message = "IR validation failed:";
+    for (const auto& error : errors) message += "\n  " + error;
+    throw std::runtime_error(message);
+}
+
+}  // namespace teamplay::ir

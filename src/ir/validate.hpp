@@ -1,0 +1,25 @@
+// Structural validation of IR programs.
+//
+// Catches authoring and transformation bugs early: malformed trees, undefined
+// callees, recursion (disallowed so that WCET composition terminates),
+// loop bounds below trip counts, register ids out of range.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace teamplay::ir {
+
+/// All problems found; empty means the program is well-formed.
+[[nodiscard]] std::vector<std::string> validate(const Program& program);
+
+/// Validate a single function against a program (for callee resolution).
+[[nodiscard]] std::vector<std::string> validate_function(
+    const Program& program, const Function& fn);
+
+/// Throwing convenience used by the workflow drivers.
+void validate_or_throw(const Program& program);
+
+}  // namespace teamplay::ir

@@ -1,0 +1,145 @@
+#include "platform/platform.hpp"
+
+#include <stdexcept>
+
+namespace teamplay::platform {
+
+std::vector<std::size_t> Platform::cores_of_class(
+    const std::string& cls) const {
+    std::vector<std::size_t> result;
+    for (std::size_t i = 0; i < cores.size(); ++i)
+        if (cls.empty() || cores[i].core_class == cls) result.push_back(i);
+    return result;
+}
+
+namespace {
+
+Core make_core(std::string name, isa::TargetModel model,
+               std::vector<OperatingPoint> opps, std::string core_class) {
+    Core core;
+    core.name = std::move(name);
+    core.model = std::move(model);
+    core.opps = std::move(opps);
+    core.core_class = std::move(core_class);
+    return core;
+}
+
+}  // namespace
+
+Platform nucleo_f091() {
+    Platform p;
+    p.name = "nucleo-f091";
+    p.base_power_w = 0.012;
+    p.cores.push_back(make_core(
+        "m0", isa::cortex_m0_model(),
+        {{8e6, 1.5, 0.0009}, {24e6, 1.72, 0.0032}, {48e6, 1.8, 0.0055}},
+        "mcu"));
+    return p;
+}
+
+Platform camera_pill_board() {
+    Platform p;
+    p.name = "camera-pill";
+    // A swallowable capsule: tiny base draw (radio idle + sensor), one M0,
+    // one fixed-function FPGA co-processor for the image kernels.
+    p.base_power_w = 0.004;
+    p.cores.push_back(make_core(
+        "m0", isa::cortex_m0_model(),
+        {{8e6, 1.5, 0.0009}, {24e6, 1.72, 0.0032}, {48e6, 1.8, 0.0055}},
+        "mcu"));
+    p.cores.push_back(make_core("fpga", isa::pill_fpga_model(),
+                                {{24e6, 1.2, 0.0009}}, "fpga"));
+    return p;
+}
+
+Platform gr712rc() {
+    Platform p;
+    p.name = "gr712rc";
+    // Rad-hard board: the always-on draw dominates, which is exactly why
+    // race-to-idle at 100 MHz loses to running at the energy sweet spot.
+    p.base_power_w = 0.9;
+    const std::vector<OperatingPoint> opps = {
+        {50e6, 1.5, 0.16}, {80e6, 1.65, 0.22}, {100e6, 1.8, 0.3}};
+    p.cores.push_back(
+        make_core("leon3-0", isa::leon3_model(), opps, "leon3"));
+    p.cores.push_back(
+        make_core("leon3-1", isa::leon3_model(), opps, "leon3"));
+    return p;
+}
+
+Platform apalis_tk1() {
+    Platform p;
+    p.name = "apalis-tk1";
+    p.base_power_w = 1.6;
+    const std::vector<OperatingPoint> a15_opps = {{564e6, 0.82, 0.14},
+                                                  {1092e6, 0.92, 0.26},
+                                                  {1836e6, 1.1, 0.55},
+                                                  {2218e6, 1.22, 0.85}};
+    for (int i = 0; i < 4; ++i)
+        p.cores.push_back(make_core("a15-" + std::to_string(i),
+                                    isa::cortex_a15_model(), a15_opps,
+                                    "big"));
+    p.cores.push_back(make_core(
+        "gk20a", isa::gpu_sm_model(),
+        {{396e6, 0.85, 0.35}, {648e6, 0.95, 0.6}, {852e6, 1.05, 0.95}},
+        "gpu"));
+    return p;
+}
+
+Platform jetson_tx2() {
+    Platform p;
+    p.name = "jetson-tx2";
+    p.base_power_w = 1.9;
+    const std::vector<OperatingPoint> a57_opps = {{499e6, 0.8, 0.1},
+                                                  {1113e6, 0.9, 0.22},
+                                                  {1574e6, 1.0, 0.38},
+                                                  {2035e6, 1.12, 0.62}};
+    const std::vector<OperatingPoint> denver_opps = {{499e6, 0.8, 0.12},
+                                                     {1113e6, 0.9, 0.26},
+                                                     {1574e6, 1.0, 0.44},
+                                                     {2035e6, 1.12, 0.7}};
+    for (int i = 0; i < 2; ++i)
+        p.cores.push_back(make_core("denver-" + std::to_string(i),
+                                    isa::denver2_model(), denver_opps,
+                                    "big"));
+    for (int i = 0; i < 4; ++i)
+        p.cores.push_back(make_core("a57-" + std::to_string(i),
+                                    isa::cortex_a57_model(), a57_opps,
+                                    "little"));
+    p.cores.push_back(make_core(
+        "gp10b", isa::gpu_sm_model(),
+        {{510e6, 0.85, 0.4}, {1122e6, 1.0, 0.9}, {1300e6, 1.08, 1.25}},
+        "gpu"));
+    return p;
+}
+
+Platform jetson_nano() {
+    Platform p;
+    p.name = "jetson-nano";
+    p.base_power_w = 1.2;
+    const std::vector<OperatingPoint> a57_opps = {{403e6, 0.8, 0.08},
+                                                  {825e6, 0.9, 0.16},
+                                                  {1224e6, 1.0, 0.28},
+                                                  {1479e6, 1.08, 0.4}};
+    for (int i = 0; i < 4; ++i)
+        p.cores.push_back(make_core("a57-" + std::to_string(i),
+                                    isa::cortex_a57_model(), a57_opps,
+                                    "big"));
+    p.cores.push_back(make_core(
+        "gm20b", isa::gpu_sm_model(),
+        {{307e6, 0.82, 0.25}, {614e6, 0.92, 0.5}, {921e6, 1.02, 0.8}},
+        "gpu"));
+    return p;
+}
+
+Platform by_name(const std::string& name) {
+    if (name == "nucleo-f091") return nucleo_f091();
+    if (name == "camera-pill") return camera_pill_board();
+    if (name == "gr712rc") return gr712rc();
+    if (name == "apalis-tk1") return apalis_tk1();
+    if (name == "jetson-tx2") return jetson_tx2();
+    if (name == "jetson-nano") return jetson_nano();
+    throw std::invalid_argument("unknown platform: " + name);
+}
+
+}  // namespace teamplay::platform

@@ -1,0 +1,99 @@
+// COTS platform descriptions (cores, DVFS operating points, power budget).
+//
+// These stand in for the boards the paper evaluates on: the Nucleo
+// STM32F091RC, the camera-pill M0+FPGA, the GR712RC LEON3FT, the Apalis TK1,
+// and the Jetson TX2 / Nano.  A platform is "predictable" exactly when all
+// its cores have statically exact instruction timing (Sec. II-A), which
+// selects between the paper's two workflows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/target_model.hpp"
+
+namespace teamplay::platform {
+
+/// One DVFS operating point of a core.
+struct OperatingPoint {
+    double freq_hz = 0.0;
+    double voltage = 0.0;
+    /// Core-level static (leakage) power drawn while the core is powered at
+    /// this point, busy or idle.
+    double static_power_w = 0.0;
+};
+
+/// One processing element.
+struct Core {
+    std::string name;
+    isa::TargetModel model;
+    std::vector<OperatingPoint> opps;  ///< sorted ascending by frequency
+    /// Identifier shared by identical cores; tasks may be constrained to a
+    /// core class ("gpu", "big", "little", "fpga", ...).
+    std::string core_class;
+
+    [[nodiscard]] const OperatingPoint& opp(std::size_t index) const {
+        return opps.at(index);
+    }
+    [[nodiscard]] std::size_t max_opp() const { return opps.size() - 1; }
+
+    /// Dynamic-energy scale factor at an operating point relative to the
+    /// model's nominal voltage: E_dyn ~ V^2 (classic CMOS scaling).
+    [[nodiscard]] double energy_scale(const OperatingPoint& point) const {
+        const double ratio = point.voltage / model.nominal_voltage;
+        return ratio * ratio;
+    }
+};
+
+/// A whole board.
+struct Platform {
+    std::string name;
+    std::vector<Core> cores;
+    /// Always-on board power (regulators, memories, radios) independent of
+    /// core activity; what the schedule cannot optimise away.
+    double base_power_w = 0.0;
+
+    /// Predictable iff every core's timing is statically exact.
+    [[nodiscard]] bool predictable() const {
+        for (const auto& core : cores)
+            if (!core.model.predictable) return false;
+        return !cores.empty();
+    }
+
+    [[nodiscard]] const Core* find_core(const std::string& core_name) const {
+        for (const auto& core : cores)
+            if (core.name == core_name) return &core;
+        return nullptr;
+    }
+
+    /// Indices of cores matching a class; all cores when `cls` is empty.
+    [[nodiscard]] std::vector<std::size_t> cores_of_class(
+        const std::string& cls) const;
+};
+
+// -- factories for the paper's boards ---------------------------------------
+
+/// Nucleo STM32F091RC: single Cortex-M0, three DVFS points (8/24/48 MHz).
+[[nodiscard]] Platform nucleo_f091();
+
+/// Camera pill: single Cortex-M0 plus low-power FPGA image co-processor.
+[[nodiscard]] Platform camera_pill_board();
+
+/// GR712RC: dual LEON3FT at 50/80/100 MHz, rad-hard power profile.
+[[nodiscard]] Platform gr712rc();
+
+/// Apalis TK1: 4x Cortex-A15 + Kepler GPU aggregate.
+[[nodiscard]] Platform apalis_tk1();
+
+/// Jetson TX2: 2x Denver2 + 4x Cortex-A57 + Pascal GPU aggregate.
+[[nodiscard]] Platform jetson_tx2();
+
+/// Jetson Nano: 4x Cortex-A57 + Maxwell GPU aggregate.
+[[nodiscard]] Platform jetson_nano();
+
+/// Look up a platform factory by name ("nucleo-f091", "camera-pill",
+/// "gr712rc", "apalis-tk1", "jetson-tx2", "jetson-nano").  Throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] Platform by_name(const std::string& name);
+
+}  // namespace teamplay::platform

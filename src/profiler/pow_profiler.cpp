@@ -1,0 +1,71 @@
+#include "profiler/pow_profiler.hpp"
+
+#include "support/stats.hpp"
+
+namespace teamplay::profiler {
+
+namespace {
+
+Estimate summarise(const std::vector<double>& samples) {
+    Estimate estimate;
+    estimate.mean = support::mean(samples);
+    estimate.stddev = support::stddev(samples);
+    estimate.p95 = support::percentile(samples, 95.0);
+    estimate.max = support::maximum(samples);
+    return estimate;
+}
+
+}  // namespace
+
+InputStager zero_inputs(int param_count) {
+    return [param_count](support::Rng&, sim::Machine& machine) {
+        machine.clear_memory();
+        return std::vector<ir::Word>(static_cast<std::size_t>(param_count),
+                                     0);
+    };
+}
+
+PowProfiler::PowProfiler(const ir::Program& program,
+                         const platform::Core& core, std::size_t opp_index,
+                         std::uint64_t seed)
+    : program_(&program), core_(&core), opp_index_(opp_index), rng_(seed),
+      next_machine_seed_(seed * 7919 + 17) {}
+
+TaskProfile PowProfiler::profile(const std::string& function,
+                                 const InputStager& stager, int runs) {
+    TaskProfile result;
+    result.function = function;
+    result.runs = runs;
+
+    std::vector<double> times;
+    std::vector<double> energies;
+    std::vector<double> cycle_samples;
+    times.reserve(static_cast<std::size_t>(runs));
+    for (int r = 0; r < runs; ++r) {
+        // A fresh machine per run models the board settling between
+        // measurements; the seed advances so complex-core noise varies.
+        sim::Machine machine(*program_, *core_, opp_index_,
+                             next_machine_seed_++);
+        const auto args = stager(rng_, machine);
+        const auto run = machine.run(function, args);
+        times.push_back(run.time_s);
+        energies.push_back(run.energy_j());
+        cycle_samples.push_back(run.cycles);
+    }
+    result.time_s = summarise(times);
+    result.energy_j = summarise(energies);
+    result.cycles = summarise(cycle_samples);
+    return result;
+}
+
+std::vector<TaskProfile> PowProfiler::profile_sequential(
+    const std::vector<std::string>& functions, const InputStager& stager,
+    int runs_per_task) {
+    std::vector<TaskProfile> profiles;
+    profiles.reserve(functions.size());
+    for (const auto& function : functions)
+        profiles.push_back(profile(function, stager, runs_per_task));
+    return profiles;
+}
+
+}  // namespace teamplay::profiler

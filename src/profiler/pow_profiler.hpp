@@ -1,0 +1,79 @@
+// Dynamic time/energy profiler (the PowProfiler stand-in of Fig. 2,
+// Seewald et al. [18][19]).
+//
+// On complex architectures, static analysis is unavailable, so the paper's
+// second workflow instruments a sequential binary and derives per-task time
+// and energy estimates from repeated measured executions.  This module
+// reproduces that loop against the simulated board: it runs a task many
+// times with randomised inputs, collects the sample distributions and
+// produces the estimates the coordination layer schedules with (mean, p95,
+// observed max, and a margin-inflated "high-water mark" used in place of a
+// true WCET).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+
+namespace teamplay::profiler {
+
+/// Distribution summary of one measured quantity.
+struct Estimate {
+    double mean = 0.0;
+    double stddev = 0.0;
+    double p95 = 0.0;
+    double max = 0.0;
+
+    /// Measurement-based bound: observed max inflated by a safety margin
+    /// (20% is the engineering convention the coordination layer uses when
+    /// no static WCET exists).
+    [[nodiscard]] double high_water_mark(double margin = 1.2) const {
+        return max * margin;
+    }
+};
+
+/// Profiling result of one task.
+struct TaskProfile {
+    std::string function;
+    int runs = 0;
+    Estimate time_s;
+    Estimate energy_j;
+    Estimate cycles;
+};
+
+/// Prepares machine state (memory image, arguments) before each profiled
+/// run; returns the argument vector.
+using InputStager =
+    std::function<std::vector<ir::Word>(support::Rng&, sim::Machine&)>;
+
+/// Default stager: zeroed memory, zero arguments.
+[[nodiscard]] InputStager zero_inputs(int param_count);
+
+class PowProfiler {
+public:
+    PowProfiler(const ir::Program& program, const platform::Core& core,
+                std::size_t opp_index, std::uint64_t seed = 1);
+
+    /// Measure `function` over `runs` executions with staged inputs.
+    [[nodiscard]] TaskProfile profile(const std::string& function,
+                                      const InputStager& stager, int runs);
+
+    /// Profile several tasks back-to-back in the given order, mirroring the
+    /// first (sequential) pass of the complex-architecture workflow.
+    [[nodiscard]] std::vector<TaskProfile> profile_sequential(
+        const std::vector<std::string>& functions, const InputStager& stager,
+        int runs_per_task);
+
+private:
+    const ir::Program* program_;
+    const platform::Core* core_;
+    std::size_t opp_index_;
+    support::Rng rng_;
+    std::uint64_t next_machine_seed_;
+};
+
+}  // namespace teamplay::profiler

@@ -1,0 +1,71 @@
+#include "security/leakage.hpp"
+
+#include <algorithm>
+
+#include "support/stats.hpp"
+
+namespace teamplay::security {
+
+LeakageReport measure_leakage(const SecretRunner& runner, int samples,
+                              int secret_bits, std::uint64_t seed) {
+    LeakageReport report;
+    if (samples < 4) return report;
+    report.samples = samples;
+
+    support::Rng rng(seed);
+    const std::uint64_t secret_space =
+        secret_bits >= 64 ? ~0ULL : ((1ULL << secret_bits) - 1);
+
+    // -- random-secret campaign: timing MI / spread, power MI ---------------
+    std::vector<int> labels;
+    std::vector<double> cycles;
+    std::vector<double> mean_power;
+    labels.reserve(static_cast<std::size_t>(samples));
+    for (int i = 0; i < samples; ++i) {
+        const auto secret =
+            static_cast<ir::Word>(rng.next() & secret_space);
+        const auto run = runner(secret);
+        labels.push_back(static_cast<int>(secret & 1));
+        cycles.push_back(run.cycles);
+        mean_power.push_back(support::mean(run.power_trace));
+    }
+    report.timing_mi_bits = support::mutual_information(labels, cycles);
+    report.timing_spread_cycles =
+        support::maximum(cycles) - support::minimum(cycles);
+    report.power_mi_bits = support::mutual_information(labels, mean_power);
+
+    // -- fixed-vs-random campaign: pointwise Welch t-test --------------------
+    const auto fixed_secret =
+        static_cast<ir::Word>(rng.next() & secret_space);
+    std::vector<std::vector<double>> fixed_traces;
+    std::vector<std::vector<double>> random_traces;
+    std::size_t min_len = SIZE_MAX;
+    const int per_class = samples / 2;
+    for (int i = 0; i < per_class; ++i) {
+        auto fixed_run = runner(fixed_secret);
+        const auto random_secret =
+            static_cast<ir::Word>(rng.next() & secret_space);
+        auto random_run = runner(random_secret);
+        min_len = std::min({min_len, fixed_run.power_trace.size(),
+                            random_run.power_trace.size()});
+        fixed_traces.push_back(std::move(fixed_run.power_trace));
+        random_traces.push_back(std::move(random_run.power_trace));
+    }
+    if (min_len == SIZE_MAX || min_len == 0) return report;
+
+    double max_t = 0.0;
+    std::vector<double> fixed_point(fixed_traces.size());
+    std::vector<double> random_point(random_traces.size());
+    for (std::size_t p = 0; p < min_len; ++p) {
+        for (std::size_t i = 0; i < fixed_traces.size(); ++i)
+            fixed_point[i] = fixed_traces[i][p];
+        for (std::size_t i = 0; i < random_traces.size(); ++i)
+            random_point[i] = random_traces[i][p];
+        max_t = std::max(max_t,
+                         std::abs(support::welch_t(fixed_point, random_point)));
+    }
+    report.power_max_t = max_t;
+    return report;
+}
+
+}  // namespace teamplay::security

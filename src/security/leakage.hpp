@@ -1,0 +1,53 @@
+// Measured side-channel leakage metrics (the dynamic half of the
+// SecurityAnalyser), following the Indiscernibility Methodology of Marquer
+// et al. [10]: quantify information leakage from observables without
+// assuming a particular attack.
+//
+// Three attack-agnostic observables are scored:
+//   * timing: mutual information between a secret bit and total cycle count,
+//     plus the raw worst-case timing spread over secrets;
+//   * power (first order): TVLA-style fixed-vs-random Welch t-test over the
+//     aligned per-instruction power trace;
+//   * power (information): mutual information between a secret bit and the
+//     trace's mean power.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+
+namespace teamplay::security {
+
+struct LeakageReport {
+    int samples = 0;
+    // Timing channel.
+    double timing_mi_bits = 0.0;       ///< MI(secret bit; cycles)
+    double timing_spread_cycles = 0.0; ///< max - min cycles over secrets
+    // Power channel.
+    double power_max_t = 0.0;          ///< max |Welch t| across trace points
+    double power_mi_bits = 0.0;        ///< MI(secret bit; mean trace power)
+
+    /// Conventional TVLA threshold: |t| > 4.5 indicates first-order leakage.
+    [[nodiscard]] bool power_leaky() const { return power_max_t > 4.5; }
+    /// Any observable channel carrying measurable information.
+    [[nodiscard]] bool leaky() const {
+        return timing_mi_bits > 0.05 || power_leaky() ||
+               timing_spread_cycles > 0.5;
+    }
+};
+
+/// Executes the device under test once for a given secret and returns the
+/// run (with power trace).  The runner owns input staging and machine state.
+using SecretRunner = std::function<sim::RunResult(ir::Word secret)>;
+
+/// Measure leakage by sampling executions over random secrets (for the MI
+/// metrics and timing spread) and fixed-vs-random classes (for the t-test).
+/// `secret_bits` bounds the secret space (secrets drawn uniformly from
+/// [0, 2^secret_bits)); the labelled bit is bit 0.
+[[nodiscard]] LeakageReport measure_leakage(const SecretRunner& runner,
+                                            int samples, int secret_bits,
+                                            std::uint64_t seed);
+
+}  // namespace teamplay::security

@@ -1,0 +1,157 @@
+#include "security/taint.hpp"
+
+namespace teamplay::security {
+
+namespace {
+
+/// Dataflow state: which registers (of the current frame) are tainted, plus
+/// the single conservative memory-taint bit.
+struct State {
+    std::vector<bool> regs;
+    bool memory = false;
+};
+
+struct Walker {
+    const ir::Program* program;
+    TaintReport report;
+    std::vector<const ir::Node*> branches;
+    int depth = 0;
+    /// Structure counting is disabled while iterating loop bodies to a taint
+    /// fixpoint, so each leaky structure is reported exactly once.
+    bool counting = true;
+
+    bool tainted(const State& state, ir::Reg r) const {
+        return r != ir::kNoReg && state.regs[static_cast<std::size_t>(r)];
+    }
+
+    void walk(const ir::Function& fn, const ir::Node& node, State& state) {
+        switch (node.kind) {
+            case ir::NodeKind::kBlock:
+                for (const auto& instr : node.instrs) walk_instr(instr, state);
+                break;
+            case ir::NodeKind::kSeq:
+                for (const auto& child : node.children)
+                    walk(fn, *child, state);
+                break;
+            case ir::NodeKind::kIf: {
+                if (counting && tainted(state, node.cond)) {
+                    ++report.secret_branches;
+                    branches.push_back(&node);
+                }
+                // Merge both branch outcomes (may-taint union).
+                State then_state = state;
+                walk(fn, *node.then_branch, then_state);
+                State else_state = state;
+                if (node.else_branch)
+                    walk(fn, *node.else_branch, else_state);
+                for (std::size_t i = 0; i < state.regs.size(); ++i)
+                    state.regs[i] = then_state.regs[i] || else_state.regs[i];
+                state.memory = then_state.memory || else_state.memory;
+                break;
+            }
+            case ir::NodeKind::kLoop: {
+                if (counting && node.trip_reg != ir::kNoReg &&
+                    tainted(state, node.trip_reg))
+                    ++report.secret_loop_bounds;
+                // Phase 1: iterate the body to a taint fixpoint with
+                // counting disabled (taint can flow through loop-carried
+                // registers and memory, so one pass is not enough).
+                const bool was_counting = counting;
+                counting = false;
+                for (int iter = 0; iter < 8; ++iter) {
+                    const State before = state;
+                    walk(fn, *node.body, state);
+                    if (before.regs == state.regs &&
+                        before.memory == state.memory)
+                        break;
+                }
+                counting = was_counting;
+                // Phase 2: one walk with the stable entry state to report
+                // each leaky structure exactly once.
+                if (counting) walk(fn, *node.body, state);
+                break;
+            }
+            case ir::NodeKind::kCall: {
+                const ir::Function* callee = program->find(node.callee);
+                if (callee == nullptr || depth > 32) break;
+                State inner;
+                inner.regs.assign(
+                    static_cast<std::size_t>(callee->reg_count), false);
+                inner.memory = state.memory;
+                for (std::size_t i = 0;
+                     i < node.args.size() && i < inner.regs.size(); ++i)
+                    inner.regs[i] = tainted(state, node.args[i]);
+                ++depth;
+                walk(*callee, *callee->body, inner);
+                --depth;
+                state.memory = inner.memory;
+                if (node.ret != ir::kNoReg && callee->ret_reg != ir::kNoReg &&
+                    inner.regs[static_cast<std::size_t>(callee->ret_reg)])
+                    state.regs[static_cast<std::size_t>(node.ret)] = true;
+                break;
+            }
+        }
+    }
+
+    void walk_instr(const ir::Instr& instr, State& state) {
+        using ir::Opcode;
+        bool in_taint = false;
+        if (ir::reads_a(instr.op)) in_taint |= tainted(state, instr.a);
+        if (ir::reads_b(instr.op)) in_taint |= tainted(state, instr.b);
+        if (ir::reads_c(instr.op)) in_taint |= tainted(state, instr.c);
+
+        if (instr.secret) {
+            if (counting) ++report.secret_sources;
+            in_taint = true;
+        }
+
+        switch (instr.op) {
+            case Opcode::kLoad:
+                if (counting && tainted(state, instr.a))
+                    ++report.secret_memory_ops;
+                // Conservative: loads observe the memory taint bit.
+                in_taint |= state.memory;
+                break;
+            case Opcode::kStore:
+                if (counting && tainted(state, instr.a))
+                    ++report.secret_memory_ops;
+                if (tainted(state, instr.b)) {
+                    state.memory = true;
+                    report.memory_tainted = true;
+                }
+                return;  // no dst
+            default:
+                break;
+        }
+        if (ir::writes_dst(instr.op) && instr.dst != ir::kNoReg)
+            state.regs[static_cast<std::size_t>(instr.dst)] = in_taint;
+    }
+};
+
+Walker run_walker(const ir::Program& program, const ir::Function& fn,
+                  const std::set<int>& tainted_params) {
+    Walker walker;
+    walker.program = &program;
+    State state;
+    state.regs.assign(static_cast<std::size_t>(fn.reg_count), false);
+    for (const int p : tainted_params)
+        if (p >= 0 && p < fn.reg_count)
+            state.regs[static_cast<std::size_t>(p)] = true;
+    if (fn.body) walker.walk(fn, *fn.body, state);
+    return walker;
+}
+
+}  // namespace
+
+TaintReport analyze_taint(const ir::Program& program, const ir::Function& fn,
+                          const std::set<int>& tainted_params) {
+    return run_walker(program, fn, tainted_params).report;
+}
+
+std::vector<const ir::Node*> secret_branches(
+    const ir::Program& program, const ir::Function& fn,
+    const std::set<int>& tainted_params) {
+    return run_walker(program, fn, tainted_params).branches;
+}
+
+}  // namespace teamplay::security

@@ -1,0 +1,54 @@
+// Secret-taint analysis (the static half of the SecurityAnalyser).
+//
+// Secrets enter via instructions flagged `secret` (key loads).  Taint flows
+// through register dataflow; the analysis reports the structures that leak
+// through time or power side channels: secret-dependent branches (timing),
+// secret-dependent memory addressing (cache timing), and secret-dependent
+// loop trip counts.  These counts are also the static leakage proxy the
+// multi-criteria compiler minimises as its third objective.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace teamplay::security {
+
+struct TaintReport {
+    int secret_sources = 0;
+    int secret_branches = 0;       ///< If nodes with tainted condition
+    int secret_memory_ops = 0;     ///< loads/stores with tainted address
+    int secret_loop_bounds = 0;    ///< dynamic loops with tainted trip reg
+    bool memory_tainted = false;   ///< some store wrote a tainted value
+
+    /// True when any secret-dependent observable structure exists.
+    [[nodiscard]] bool leaky() const {
+        return secret_branches > 0 || secret_memory_ops > 0 ||
+               secret_loop_bounds > 0;
+    }
+
+    /// Scalar proxy used as the compiler's security objective: branches and
+    /// variable loop bounds dominate (whole-path timing), memory ops
+    /// contribute cache-granular leakage.
+    [[nodiscard]] double leakage_proxy() const {
+        return 4.0 * secret_branches + 4.0 * secret_loop_bounds +
+               1.0 * secret_memory_ops;
+    }
+};
+
+/// Analyse one function (following calls; tainted arguments taint callee
+/// parameters; a tainted memory write conservatively taints all later
+/// loads).  `tainted_params` optionally marks parameters as secret at entry.
+[[nodiscard]] TaintReport analyze_taint(
+    const ir::Program& program, const ir::Function& fn,
+    const std::set<int>& tainted_params = {});
+
+/// The set of If nodes (by pre-order index among If nodes) whose condition
+/// is secret-tainted; used by the transforms to pick rewrite targets.
+[[nodiscard]] std::vector<const ir::Node*> secret_branches(
+    const ir::Program& program, const ir::Function& fn,
+    const std::set<int>& tainted_params = {});
+
+}  // namespace teamplay::security

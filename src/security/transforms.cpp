@@ -1,0 +1,234 @@
+#include "security/transforms.hpp"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "isa/target_model.hpp"
+#include "security/taint.hpp"
+
+namespace teamplay::security {
+
+namespace {
+
+/// Flatten an arm into its instruction list if it contains only Seq/Block
+/// nodes (no nested control flow); nullopt otherwise.
+std::optional<std::vector<ir::Instr>> flatten_arm(const ir::Node* arm) {
+    std::vector<ir::Instr> out;
+    if (arm == nullptr) return out;  // missing else arm == empty arm
+    bool ok = true;
+    ir::visit(*arm, [&ok](const ir::Node& node) {
+        if (node.kind != ir::NodeKind::kSeq &&
+            node.kind != ir::NodeKind::kBlock)
+            ok = false;
+    });
+    if (!ok) return std::nullopt;
+    ir::for_each_instr(*arm,
+                       [&out](const ir::Instr& instr) { out.push_back(instr); });
+    return out;
+}
+
+/// True when every instruction is register-pure (no memory access).
+bool all_pure(const std::vector<ir::Instr>& instrs) {
+    for (const auto& instr : instrs)
+        if (!ir::is_pure(instr.op)) return false;
+    return true;
+}
+
+/// Rename the destinations of an arm to fresh registers, keeping internal
+/// def-use chains intact.  Returns the rewritten instructions and the map
+/// original-reg -> final renamed reg.
+std::pair<std::vector<ir::Instr>, std::map<ir::Reg, ir::Reg>> rename_arm(
+    const std::vector<ir::Instr>& instrs, int& next_reg) {
+    std::map<ir::Reg, ir::Reg> renames;
+    std::vector<ir::Instr> out;
+    out.reserve(instrs.size());
+    for (ir::Instr instr : instrs) {
+        const auto remap = [&renames](ir::Reg r) {
+            const auto it = renames.find(r);
+            return it == renames.end() ? r : it->second;
+        };
+        if (ir::reads_a(instr.op)) instr.a = remap(instr.a);
+        if (ir::reads_b(instr.op)) instr.b = remap(instr.b);
+        if (ir::reads_c(instr.op)) instr.c = remap(instr.c);
+        if (ir::writes_dst(instr.op) && instr.dst != ir::kNoReg) {
+            const ir::Reg fresh = next_reg++;
+            renames[instr.dst] = fresh;
+            instr.dst = fresh;
+        }
+        out.push_back(instr);
+    }
+    return {std::move(out), std::move(renames)};
+}
+
+/// Per-instruction-class static counts of an arm.
+std::array<std::int64_t, isa::kNumInstrClasses> class_profile(
+    const std::vector<ir::Instr>& instrs) {
+    std::array<std::int64_t, isa::kNumInstrClasses> counts{};
+    for (const auto& instr : instrs)
+        ++counts[static_cast<std::size_t>(isa::instr_class(instr.op))];
+    return counts;
+}
+
+/// A harmless dummy instruction of the requested class, operating on a
+/// scratch register.  Stores are padded with loads instead (same latency
+/// class on the supported targets) because a dummy store would clobber
+/// memory.
+ir::Instr dummy_of_class(isa::InstrClass cls, ir::Reg scratch,
+                         ir::Reg zero_reg) {
+    using ir::Opcode;
+    switch (cls) {
+        case isa::InstrClass::kNop:
+            return {.op = Opcode::kNop};
+        case isa::InstrClass::kMove:
+            return {.op = Opcode::kMov, .dst = scratch, .a = scratch};
+        case isa::InstrClass::kAlu:
+            return {.op = Opcode::kAdd, .dst = scratch, .a = scratch,
+                    .b = scratch};
+        case isa::InstrClass::kMul:
+            return {.op = Opcode::kMul, .dst = scratch, .a = scratch,
+                    .b = scratch};
+        case isa::InstrClass::kDiv:
+            return {.op = Opcode::kDiv, .dst = scratch, .a = scratch,
+                    .b = scratch};
+        case isa::InstrClass::kLoad:
+        case isa::InstrClass::kStore: {
+            // Dummy memory op: load through the never-written zero register
+            // so the address is always mem[0] (dummy stores would clobber
+            // memory, so stores are padded with loads of the same latency
+            // class instead).
+            ir::Instr instr;
+            instr.op = Opcode::kLoad;
+            instr.dst = scratch;
+            instr.a = zero_reg;
+            instr.imm = 0;
+            return instr;
+        }
+        case isa::InstrClass::kSelect:
+            return {.op = Opcode::kSelect, .dst = scratch, .a = scratch,
+                    .b = scratch, .c = scratch};
+    }
+    return {.op = Opcode::kNop};
+}
+
+}  // namespace
+
+TransformStats ladderise(const ir::Program& program, ir::Function& fn) {
+    TransformStats stats;
+    const auto targets = secret_branches(program, fn);
+    if (targets.empty()) return stats;
+    const std::set<const ir::Node*> target_set(targets.begin(), targets.end());
+
+    int next_reg = fn.reg_count;
+    ir::visit(*fn.body, [&](ir::Node& node) {
+        if (node.kind != ir::NodeKind::kIf || !target_set.contains(&node))
+            return;
+        const auto then_instrs = flatten_arm(node.then_branch.get());
+        const auto else_instrs = flatten_arm(node.else_branch.get());
+        if (!then_instrs || !else_instrs || !all_pure(*then_instrs) ||
+            !all_pure(*else_instrs)) {
+            ++stats.skipped;
+            return;
+        }
+
+        auto [then_code, then_map] = rename_arm(*then_instrs, next_reg);
+        auto [else_code, else_map] = rename_arm(*else_instrs, next_reg);
+
+        // Merge: every register written by either arm gets a branch-free
+        // select on the (still untouched) condition register.
+        std::set<ir::Reg> written;
+        for (const auto& [orig, renamed] : then_map) written.insert(orig);
+        for (const auto& [orig, renamed] : else_map) written.insert(orig);
+
+        std::vector<ir::Instr> merged = std::move(then_code);
+        merged.insert(merged.end(), else_code.begin(), else_code.end());
+        for (const ir::Reg r : written) {
+            const auto t = then_map.find(r);
+            const auto e = else_map.find(r);
+            merged.push_back(ir::Instr{
+                .op = ir::Opcode::kSelect,
+                .dst = r,
+                .a = t == then_map.end() ? r : t->second,
+                .b = e == else_map.end() ? r : e->second,
+                .c = node.cond});
+        }
+
+        // Rewrite the If node in place into a straight-line block.
+        node.kind = ir::NodeKind::kBlock;
+        node.instrs = std::move(merged);
+        node.then_branch.reset();
+        node.else_branch.reset();
+        node.cond = ir::kNoReg;
+        ++stats.rewritten;
+    });
+    fn.reg_count = next_reg;
+    return stats;
+}
+
+TransformStats balance_secret_branches(const ir::Program& program,
+                                       ir::Function& fn) {
+    TransformStats stats;
+    const auto targets = secret_branches(program, fn);
+    if (targets.empty()) return stats;
+    const std::set<const ir::Node*> target_set(targets.begin(), targets.end());
+
+    const ir::Reg scratch = fn.reg_count;
+    const ir::Reg zero_reg = fn.reg_count + 1;  // never written: always 0
+    bool used_scratch = false;
+
+    ir::visit(*fn.body, [&](ir::Node& node) {
+        if (node.kind != ir::NodeKind::kIf || !target_set.contains(&node))
+            return;
+        const auto then_instrs = flatten_arm(node.then_branch.get());
+        const auto else_instrs = flatten_arm(node.else_branch.get());
+        if (!then_instrs || !else_instrs) {
+            ++stats.skipped;
+            return;
+        }
+        const auto then_prof = class_profile(*then_instrs);
+        const auto else_prof = class_profile(*else_instrs);
+
+        std::vector<ir::Instr> pad_then;
+        std::vector<ir::Instr> pad_else;
+        for (int c = 0; c < isa::kNumInstrClasses; ++c) {
+            const auto cls = static_cast<isa::InstrClass>(c);
+            const std::int64_t diff =
+                then_prof[static_cast<std::size_t>(c)] -
+                else_prof[static_cast<std::size_t>(c)];
+            auto& pad = diff > 0 ? pad_else : pad_then;
+            for (std::int64_t n = 0; n < std::abs(diff); ++n)
+                pad.push_back(dummy_of_class(cls, scratch, zero_reg));
+        }
+        if (pad_then.empty() && pad_else.empty()) {
+            // Arms already share a class profile: the branch is balanced as
+            // written; count it as handled.
+            ++stats.rewritten;
+            return;
+        }
+        used_scratch = true;
+
+        const auto append = [](ir::NodePtr& arm, std::vector<ir::Instr> pad) {
+            if (pad.empty()) return;
+            auto block = ir::Node::block(std::move(pad));
+            if (!arm) {
+                std::vector<ir::NodePtr> children;
+                children.push_back(std::move(block));
+                arm = ir::Node::seq(std::move(children));
+            } else if (arm->kind == ir::NodeKind::kSeq) {
+                arm->children.push_back(std::move(block));
+            } else {
+                std::vector<ir::NodePtr> children;
+                children.push_back(std::move(arm));
+                children.push_back(std::move(block));
+                arm = ir::Node::seq(std::move(children));
+            }
+        };
+        append(node.then_branch, std::move(pad_then));
+        append(node.else_branch, std::move(pad_else));
+        ++stats.rewritten;
+    });
+    if (used_scratch) fn.reg_count = zero_reg + 1;
+    return stats;
+}
+
+}  // namespace teamplay::security

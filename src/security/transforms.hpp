@@ -1,0 +1,40 @@
+// SecurityOptimiser program transformations (Fig. 1).
+//
+// Two countermeasures against the timing/power side channels, in increasing
+// strength:
+//
+//  * balance_secret_branches — pad the cheaper arm of every secret-dependent
+//    branch with class-matched dummy instructions so both arms take the same
+//    worst-case time.  Cheap, removes the *timing* channel of the branch, but
+//    first-order power leakage remains (the arms execute different data).
+//
+//  * ladderise — the "semi-automatic ladderisation" of Brown et al. [12] /
+//    Marquer & Richmond [11]: rewrite a secret-dependent branch into
+//    straight-line code that executes BOTH arms into renamed registers and
+//    merges the results with branch-free selects.  Control flow no longer
+//    depends on the secret at all.  Applicable when both arms are pure
+//    (register-only) code; the transform verifies applicability and leaves
+//    other branches untouched (the tool is semi-automatic in the paper, too).
+#pragma once
+
+#include "ir/program.hpp"
+
+namespace teamplay::security {
+
+struct TransformStats {
+    int rewritten = 0;  ///< branches transformed
+    int skipped = 0;    ///< secret branches left untouched (not applicable)
+};
+
+/// Rewrite secret-dependent pure branches of `fn` into select-based
+/// straight-line code.  Extends fn.reg_count for renamed registers.
+TransformStats ladderise(const ir::Program& program, ir::Function& fn);
+
+/// Equalise the instruction-class profile of both arms of every
+/// secret-dependent branch by appending dummy instructions to the cheaper
+/// arm.  Works on branches whose arms contain only blocks (no nested loops
+/// or calls).
+TransformStats balance_secret_branches(const ir::Program& program,
+                                       ir::Function& fn);
+
+}  // namespace teamplay::security

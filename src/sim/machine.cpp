@@ -1,0 +1,340 @@
+#include "sim/machine.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace teamplay::sim {
+
+namespace {
+
+constexpr int kMaxCallDepth = 64;
+
+ir::Word eval_binop(ir::Opcode op, ir::Word a, ir::Word b) {
+    using ir::Opcode;
+    using U = std::uint64_t;
+    switch (op) {
+        case Opcode::kAdd: return static_cast<ir::Word>(static_cast<U>(a) + static_cast<U>(b));
+        case Opcode::kSub: return static_cast<ir::Word>(static_cast<U>(a) - static_cast<U>(b));
+        case Opcode::kMul: return static_cast<ir::Word>(static_cast<U>(a) * static_cast<U>(b));
+        case Opcode::kDiv: return b == 0 ? 0 : a / b;
+        case Opcode::kRem: return b == 0 ? 0 : a % b;
+        case Opcode::kAnd: return a & b;
+        case Opcode::kOr: return a | b;
+        case Opcode::kXor: return a ^ b;
+        case Opcode::kShl:
+            return static_cast<ir::Word>(static_cast<U>(a)
+                                         << (static_cast<U>(b) & 63U));
+        case Opcode::kShr:
+            return static_cast<ir::Word>(static_cast<U>(a) >>
+                                         (static_cast<U>(b) & 63U));
+        case Opcode::kCmpEq: return a == b ? 1 : 0;
+        case Opcode::kCmpNe: return a != b ? 1 : 0;
+        case Opcode::kCmpLt: return a < b ? 1 : 0;
+        case Opcode::kCmpLe: return a <= b ? 1 : 0;
+        case Opcode::kCmpGt: return a > b ? 1 : 0;
+        case Opcode::kCmpGe: return a >= b ? 1 : 0;
+        case Opcode::kMin: return a < b ? a : b;
+        case Opcode::kMax: return a > b ? a : b;
+        default: return 0;
+    }
+}
+
+}  // namespace
+
+Machine::Machine(const ir::Program& program, const platform::Core& core,
+                 std::size_t opp_index, std::uint64_t seed)
+    : program_(&program), core_(&core), opp_index_(opp_index),
+      energy_scale_(core.energy_scale(core.opp(opp_index))),
+      memory_(program.memory_words, 0), rng_(seed) {}
+
+void Machine::poke(std::size_t address, ir::Word value) {
+    if (address >= memory_.size())
+        throw std::out_of_range("Machine::poke: address out of range");
+    memory_[address] = value;
+}
+
+ir::Word Machine::peek(std::size_t address) const {
+    if (address >= memory_.size())
+        throw std::out_of_range("Machine::peek: address out of range");
+    return memory_[address];
+}
+
+void Machine::poke_span(std::size_t address, std::span<const ir::Word> values) {
+    if (address + values.size() > memory_.size())
+        throw std::out_of_range("Machine::poke_span: range out of bounds");
+    std::copy(values.begin(), values.end(),
+              memory_.begin() + static_cast<std::ptrdiff_t>(address));
+}
+
+std::vector<ir::Word> Machine::peek_span(std::size_t address,
+                                         std::size_t count) const {
+    if (address + count > memory_.size())
+        throw std::out_of_range("Machine::peek_span: range out of bounds");
+    return {memory_.begin() + static_cast<std::ptrdiff_t>(address),
+            memory_.begin() + static_cast<std::ptrdiff_t>(address + count)};
+}
+
+void Machine::clear_memory() {
+    std::fill(memory_.begin(), memory_.end(), 0);
+}
+
+double Machine::stochastic_cycles(double base, bool memory_access) {
+    const auto& model = core_->model;
+    if (model.predictable) return base;
+    double cycles = base;
+    if (model.timing_jitter_sigma > 0.0) {
+        const double factor =
+            1.0 + rng_.gaussian(0.0, model.timing_jitter_sigma);
+        cycles *= factor < 0.1 ? 0.1 : factor;
+    }
+    if (memory_access && rng_.chance(model.cache_miss_prob))
+        cycles += model.cache_miss_penalty;
+    return cycles;
+}
+
+void Machine::charge(isa::InstrClass cls, ir::Word data_value,
+                     RunResult& result, bool record_trace) {
+    const auto& model = core_->model;
+    const auto& point = core_->opp(opp_index_);
+    const bool is_mem =
+        cls == isa::InstrClass::kLoad || cls == isa::InstrClass::kStore;
+    const double cycles = stochastic_cycles(model.cycles_of(cls), is_mem);
+    const double data_pj =
+        model.data_alpha_pj_per_bit *
+        static_cast<double>(std::popcount(static_cast<std::uint64_t>(data_value)));
+    const double energy_j =
+        (model.energy_of(cls) + data_pj) * energy_scale_ * 1e-12;
+
+    result.cycles += cycles;
+    result.dynamic_energy_j += energy_j;
+    ++result.instrs_executed;
+    ++result.class_counts[static_cast<std::size_t>(cls)];
+
+    if (record_trace) {
+        const double duration_s = cycles / point.freq_hz;
+        result.power_trace.push_back(duration_s > 0.0 ? energy_j / duration_s
+                                                      : 0.0);
+    }
+    if (result.instrs_executed > budget_)
+        throw std::runtime_error(
+            "Machine: instruction budget exceeded (runaway program?)");
+}
+
+void Machine::charge_overhead(double cycles, double energy_pj,
+                              RunResult& result, bool record_trace) {
+    const auto& point = core_->opp(opp_index_);
+    const double actual = stochastic_cycles(cycles, false);
+    const double energy_j = energy_pj * energy_scale_ * 1e-12;
+    result.cycles += actual;
+    result.dynamic_energy_j += energy_j;
+    if (record_trace) {
+        const double duration_s = actual / point.freq_hz;
+        result.power_trace.push_back(duration_s > 0.0 ? energy_j / duration_s
+                                                      : 0.0);
+    }
+}
+
+void Machine::exec_block(const ir::Node& node, Frame& frame,
+                         RunResult& result, bool record_trace) {
+    using ir::Opcode;
+    auto& regs = frame.regs;
+    for (const auto& instr : node.instrs) {
+        switch (instr.op) {
+            case Opcode::kNop:
+                charge(isa::InstrClass::kNop, 0, result, record_trace);
+                break;
+            case Opcode::kMovImm:
+                regs[static_cast<std::size_t>(instr.dst)] = instr.imm;
+                charge(isa::InstrClass::kMove, instr.imm, result,
+                       record_trace);
+                break;
+            case Opcode::kMov: {
+                const ir::Word v = regs[static_cast<std::size_t>(instr.a)];
+                regs[static_cast<std::size_t>(instr.dst)] = v;
+                charge(isa::InstrClass::kMove, v, result, record_trace);
+                break;
+            }
+            case Opcode::kNot: {
+                const ir::Word v = ~regs[static_cast<std::size_t>(instr.a)];
+                regs[static_cast<std::size_t>(instr.dst)] = v;
+                charge(isa::InstrClass::kAlu, v, result, record_trace);
+                break;
+            }
+            case Opcode::kNeg: {
+                const ir::Word v = -regs[static_cast<std::size_t>(instr.a)];
+                regs[static_cast<std::size_t>(instr.dst)] = v;
+                charge(isa::InstrClass::kAlu, v, result, record_trace);
+                break;
+            }
+            case Opcode::kAbs: {
+                const ir::Word a = regs[static_cast<std::size_t>(instr.a)];
+                const ir::Word v = a < 0 ? -a : a;
+                regs[static_cast<std::size_t>(instr.dst)] = v;
+                charge(isa::InstrClass::kAlu, v, result, record_trace);
+                break;
+            }
+            case Opcode::kPopcnt: {
+                const ir::Word v = static_cast<ir::Word>(std::popcount(
+                    static_cast<std::uint64_t>(
+                        regs[static_cast<std::size_t>(instr.a)])));
+                regs[static_cast<std::size_t>(instr.dst)] = v;
+                charge(isa::InstrClass::kAlu, v, result, record_trace);
+                break;
+            }
+            case Opcode::kLoad: {
+                const ir::Word addr =
+                    regs[static_cast<std::size_t>(instr.a)] + instr.imm;
+                if (addr < 0 ||
+                    static_cast<std::size_t>(addr) >= memory_.size())
+                    throw std::out_of_range("Machine: load out of bounds");
+                const ir::Word v = memory_[static_cast<std::size_t>(addr)];
+                regs[static_cast<std::size_t>(instr.dst)] = v;
+                charge(isa::InstrClass::kLoad, v, result, record_trace);
+                break;
+            }
+            case Opcode::kStore: {
+                const ir::Word addr =
+                    regs[static_cast<std::size_t>(instr.a)] + instr.imm;
+                if (addr < 0 ||
+                    static_cast<std::size_t>(addr) >= memory_.size())
+                    throw std::out_of_range("Machine: store out of bounds");
+                const ir::Word v = regs[static_cast<std::size_t>(instr.b)];
+                memory_[static_cast<std::size_t>(addr)] = v;
+                charge(isa::InstrClass::kStore, v, result, record_trace);
+                break;
+            }
+            case Opcode::kSelect: {
+                const ir::Word c = regs[static_cast<std::size_t>(instr.c)];
+                const ir::Word v =
+                    c != 0 ? regs[static_cast<std::size_t>(instr.a)]
+                           : regs[static_cast<std::size_t>(instr.b)];
+                regs[static_cast<std::size_t>(instr.dst)] = v;
+                charge(isa::InstrClass::kSelect, v, result, record_trace);
+                break;
+            }
+            case Opcode::kDiv:
+            case Opcode::kRem: {
+                const ir::Word v =
+                    eval_binop(instr.op, regs[static_cast<std::size_t>(instr.a)],
+                               regs[static_cast<std::size_t>(instr.b)]);
+                regs[static_cast<std::size_t>(instr.dst)] = v;
+                charge(isa::InstrClass::kDiv, v, result, record_trace);
+                break;
+            }
+            case Opcode::kMul: {
+                const ir::Word v =
+                    eval_binop(instr.op, regs[static_cast<std::size_t>(instr.a)],
+                               regs[static_cast<std::size_t>(instr.b)]);
+                regs[static_cast<std::size_t>(instr.dst)] = v;
+                charge(isa::InstrClass::kMul, v, result, record_trace);
+                break;
+            }
+            default: {
+                const ir::Word v =
+                    eval_binop(instr.op, regs[static_cast<std::size_t>(instr.a)],
+                               regs[static_cast<std::size_t>(instr.b)]);
+                regs[static_cast<std::size_t>(instr.dst)] = v;
+                charge(isa::InstrClass::kAlu, v, result, record_trace);
+                break;
+            }
+        }
+    }
+}
+
+void Machine::exec_node(const ir::Node& node, Frame& frame, RunResult& result,
+                        bool record_trace, int call_depth) {
+    using ir::NodeKind;
+    const auto& model = core_->model;
+    switch (node.kind) {
+        case NodeKind::kBlock:
+            exec_block(node, frame, result, record_trace);
+            break;
+        case NodeKind::kSeq:
+            for (const auto& child : node.children)
+                exec_node(*child, frame, result, record_trace, call_depth);
+            break;
+        case NodeKind::kIf: {
+            charge_overhead(model.branch_cycles, model.branch_energy_pj,
+                            result, record_trace);
+            const ir::Word cond =
+                frame.regs[static_cast<std::size_t>(node.cond)];
+            if (cond != 0) {
+                exec_node(*node.then_branch, frame, result, record_trace,
+                          call_depth);
+            } else if (node.else_branch) {
+                exec_node(*node.else_branch, frame, result, record_trace,
+                          call_depth);
+            }
+            break;
+        }
+        case NodeKind::kLoop: {
+            std::int64_t trips = node.trip;
+            if (node.trip_reg != ir::kNoReg) {
+                trips = frame.regs[static_cast<std::size_t>(node.trip_reg)];
+                if (trips < 0) trips = 0;
+                if (trips > node.bound)
+                    throw std::runtime_error(
+                        "Machine: dynamic loop trip exceeds static bound in "
+                        "function execution");
+            }
+            for (std::int64_t i = 0; i < trips; ++i) {
+                charge_overhead(model.loop_iter_cycles,
+                                model.loop_iter_energy_pj, result,
+                                record_trace);
+                if (node.index_reg != ir::kNoReg)
+                    frame.regs[static_cast<std::size_t>(node.index_reg)] =
+                        i * node.stride;
+                exec_node(*node.body, frame, result, record_trace,
+                          call_depth);
+            }
+            break;
+        }
+        case NodeKind::kCall: {
+            if (call_depth >= kMaxCallDepth)
+                throw std::runtime_error("Machine: call depth exceeded");
+            const ir::Function* callee = program_->find(node.callee);
+            if (callee == nullptr)
+                throw std::runtime_error("Machine: undefined function '" +
+                                         node.callee + "'");
+            charge_overhead(model.call_cycles, model.call_energy_pj, result,
+                            record_trace);
+            Frame inner;
+            inner.regs.assign(static_cast<std::size_t>(callee->reg_count), 0);
+            for (std::size_t i = 0; i < node.args.size(); ++i)
+                inner.regs[i] =
+                    frame.regs[static_cast<std::size_t>(node.args[i])];
+            exec_node(*callee->body, inner, result, record_trace,
+                      call_depth + 1);
+            if (node.ret != ir::kNoReg && callee->ret_reg != ir::kNoReg)
+                frame.regs[static_cast<std::size_t>(node.ret)] =
+                    inner.regs[static_cast<std::size_t>(callee->ret_reg)];
+            break;
+        }
+    }
+}
+
+RunResult Machine::run(const std::string& function,
+                       std::span<const ir::Word> args, bool record_trace) {
+    const ir::Function* fn = program_->find(function);
+    if (fn == nullptr)
+        throw std::runtime_error("Machine: undefined function '" + function +
+                                 "'");
+    if (static_cast<int>(args.size()) != fn->param_count)
+        throw std::invalid_argument("Machine: argument count mismatch for '" +
+                                    function + "'");
+    RunResult result;
+    Frame frame;
+    frame.regs.assign(static_cast<std::size_t>(fn->reg_count), 0);
+    for (std::size_t i = 0; i < args.size(); ++i) frame.regs[i] = args[i];
+
+    exec_node(*fn->body, frame, result, record_trace, 0);
+
+    const auto& point = core_->opp(opp_index_);
+    result.time_s = result.cycles / point.freq_hz;
+    result.static_energy_j = point.static_power_w * result.time_s;
+    if (fn->ret_reg != ir::kNoReg)
+        result.ret_value = frame.regs[static_cast<std::size_t>(fn->ret_reg)];
+    return result;
+}
+
+}  // namespace teamplay::sim

@@ -1,0 +1,109 @@
+// Cycle-approximate execution of IR programs on a modelled core.
+//
+// This module is the hardware substitution (DESIGN.md §2): it plays the role
+// of the physical boards in the paper's evaluation.  For predictable cores it
+// charges exactly the cost tables the static analysers use, so static bounds
+// are sound and validation against "measurement" is meaningful.  For complex
+// cores it adds stochastic cache and pipeline behaviour, making dynamic
+// profiling (PowProfiler) the only viable estimation route — the property
+// that motivates the paper's second workflow.
+//
+// The machine also produces a per-instruction power trace with a
+// Hamming-weight data-dependent component, which is what the side-channel
+// leakage metrics of the SecurityAnalyser consume.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "platform/platform.hpp"
+#include "support/rng.hpp"
+
+namespace teamplay::sim {
+
+/// Outcome of one task execution.
+struct RunResult {
+    double cycles = 0.0;
+    double time_s = 0.0;
+    double dynamic_energy_j = 0.0;
+    double static_energy_j = 0.0;  ///< core leakage over the run duration
+    ir::Word ret_value = 0;
+    std::int64_t instrs_executed = 0;
+    std::array<std::int64_t, isa::kNumInstrClasses> class_counts{};
+
+    /// Per-instruction instantaneous power samples in watts (only filled
+    /// when tracing was requested).  Sample i corresponds to the i-th
+    /// executed instruction, so traces from runs with identical control flow
+    /// align point-by-point.
+    std::vector<double> power_trace;
+
+    [[nodiscard]] double energy_j() const {
+        return dynamic_energy_j + static_energy_j;
+    }
+    [[nodiscard]] double average_power_w() const {
+        return time_s > 0.0 ? energy_j() / time_s : 0.0;
+    }
+};
+
+/// Interpreter for one program on one core at one DVFS operating point.
+class Machine {
+public:
+    /// The program must outlive the machine.  `seed` drives the stochastic
+    /// timing of complex cores; predictable cores never consult it.
+    Machine(const ir::Program& program, const platform::Core& core,
+            std::size_t opp_index, std::uint64_t seed = 1);
+
+    /// Write a word into shared memory (input staging).
+    void poke(std::size_t address, ir::Word value);
+    /// Read a word from shared memory (output retrieval).
+    [[nodiscard]] ir::Word peek(std::size_t address) const;
+    /// Bulk variants.
+    void poke_span(std::size_t address, std::span<const ir::Word> values);
+    [[nodiscard]] std::vector<ir::Word> peek_span(std::size_t address,
+                                                  std::size_t count) const;
+    /// Reset all memory to zero.
+    void clear_memory();
+
+    /// Execute `function` with the given arguments.  Throws on undefined
+    /// functions, out-of-range memory access, dynamic loop trips above the
+    /// static bound, or exceeding the instruction budget.
+    RunResult run(const std::string& function,
+                  std::span<const ir::Word> args, bool record_trace = false);
+
+    /// Abort threshold for runaway programs (default 500 M instructions).
+    void set_instruction_budget(std::int64_t budget) { budget_ = budget; }
+
+    [[nodiscard]] const platform::Core& core() const { return *core_; }
+    [[nodiscard]] const platform::OperatingPoint& opp() const {
+        return core_->opp(opp_index_);
+    }
+
+private:
+    struct Frame {
+        std::vector<ir::Word> regs;
+    };
+
+    void exec_node(const ir::Node& node, Frame& frame, RunResult& result,
+                   bool record_trace, int call_depth);
+    void exec_block(const ir::Node& node, Frame& frame, RunResult& result,
+                    bool record_trace);
+    void charge(isa::InstrClass cls, ir::Word data_value, RunResult& result,
+                bool record_trace);
+    void charge_overhead(double cycles, double energy_pj, RunResult& result,
+                         bool record_trace);
+    [[nodiscard]] double stochastic_cycles(double base, bool memory_access);
+
+    const ir::Program* program_;
+    const platform::Core* core_;
+    std::size_t opp_index_;
+    double energy_scale_;  ///< V^2 scaling for the selected operating point
+    std::vector<ir::Word> memory_;
+    support::Rng rng_;
+    std::int64_t budget_ = 500'000'000;
+};
+
+}  // namespace teamplay::sim

@@ -1,0 +1,185 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace teamplay::support {
+
+double mean(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    double acc = 0.0;
+    for (double x : xs) acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+    if (xs.size() < 2) return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs) acc += (x - m) * (x - m);
+    return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::span<const double> xs, double p) {
+    if (xs.empty()) return 0.0;
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    const double pos =
+        clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double maximum(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double minimum(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double welch_t(std::span<const double> a, std::span<const double> b) {
+    if (a.size() < 2 || b.size() < 2) return 0.0;
+    const double ma = mean(a);
+    const double mb = mean(b);
+    const double va = variance(a) / static_cast<double>(a.size());
+    const double vb = variance(b) / static_cast<double>(b.size());
+    const double denom = std::sqrt(va + vb);
+    if (denom == 0.0) return 0.0;
+    return (ma - mb) / denom;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+    const std::size_t n = std::min(xs.size(), ys.size());
+    if (n < 2) return 0.0;
+    const double mx = mean(xs.subspan(0, n));
+    const double my = mean(ys.subspan(0, n));
+    double sxy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0) return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double mutual_information(std::span<const int> labels,
+                          std::span<const double> obs, int bins) {
+    const std::size_t n = std::min(labels.size(), obs.size());
+    if (n == 0 || bins < 2) return 0.0;
+
+    const double lo = minimum(obs.subspan(0, n));
+    const double hi = maximum(obs.subspan(0, n));
+    if (hi <= lo) return 0.0;  // constant observable leaks nothing
+
+    int max_label = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        max_label = std::max(max_label, labels[i]);
+    const int num_labels = max_label + 1;
+
+    // Joint histogram p(label, bin).
+    std::vector<double> joint(
+        static_cast<std::size_t>(num_labels) * static_cast<std::size_t>(bins),
+        0.0);
+    std::vector<double> p_label(static_cast<std::size_t>(num_labels), 0.0);
+    std::vector<double> p_bin(static_cast<std::size_t>(bins), 0.0);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (labels[i] < 0) continue;
+        int bin = static_cast<int>((obs[i] - lo) / (hi - lo) *
+                                   static_cast<double>(bins));
+        bin = std::clamp(bin, 0, bins - 1);
+        const auto li = static_cast<std::size_t>(labels[i]);
+        joint[li * static_cast<std::size_t>(bins) +
+              static_cast<std::size_t>(bin)] += 1.0;
+        p_label[li] += 1.0;
+        p_bin[static_cast<std::size_t>(bin)] += 1.0;
+    }
+
+    const auto total = static_cast<double>(n);
+    double mi = 0.0;
+    for (int l = 0; l < num_labels; ++l) {
+        for (int c = 0; c < bins; ++c) {
+            const double pj = joint[static_cast<std::size_t>(l) *
+                                        static_cast<std::size_t>(bins) +
+                                    static_cast<std::size_t>(c)] /
+                              total;
+            if (pj <= 0.0) continue;
+            const double pl = p_label[static_cast<std::size_t>(l)] / total;
+            const double pc = p_bin[static_cast<std::size_t>(c)] / total;
+            mi += pj * std::log2(pj / (pl * pc));
+        }
+    }
+    return std::max(mi, 0.0);
+}
+
+std::vector<double> least_squares(const std::vector<std::vector<double>>& rows,
+                                  std::span<const double> b) {
+    if (rows.empty() || rows.front().empty() || rows.size() != b.size())
+        return {};
+    const std::size_t cols = rows.front().size();
+
+    // Normal equations: (A^T A) x = A^T b.
+    std::vector<std::vector<double>> ata(cols, std::vector<double>(cols, 0.0));
+    std::vector<double> atb(cols, 0.0);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const auto& row = rows[r];
+        for (std::size_t i = 0; i < cols; ++i) {
+            atb[i] += row[i] * b[r];
+            for (std::size_t j = 0; j < cols; ++j)
+                ata[i][j] += row[i] * row[j];
+        }
+    }
+
+    // Gaussian elimination with partial pivoting.
+    std::vector<double> x(cols, 0.0);
+    for (std::size_t col = 0; col < cols; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < cols; ++r)
+            if (std::abs(ata[r][col]) > std::abs(ata[pivot][col])) pivot = r;
+        if (std::abs(ata[pivot][col]) < 1e-12) return std::vector<double>(cols, 0.0);
+        std::swap(ata[col], ata[pivot]);
+        std::swap(atb[col], atb[pivot]);
+        for (std::size_t r = col + 1; r < cols; ++r) {
+            const double factor = ata[r][col] / ata[col][col];
+            for (std::size_t c = col; c < cols; ++c)
+                ata[r][c] -= factor * ata[col][c];
+            atb[r] -= factor * atb[col];
+        }
+    }
+    for (std::size_t i = cols; i-- > 0;) {
+        double acc = atb[i];
+        for (std::size_t j = i + 1; j < cols; ++j) acc -= ata[i][j] * x[j];
+        x[i] = acc / ata[i][i];
+    }
+    return x;
+}
+
+double mape(std::span<const double> predicted, std::span<const double> actual,
+            double eps) {
+    const std::size_t n = std::min(predicted.size(), actual.size());
+    double acc = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (std::abs(actual[i]) < eps) continue;
+        acc += std::abs((predicted[i] - actual[i]) / actual[i]);
+        ++counted;
+    }
+    if (counted == 0) return 0.0;
+    return acc / static_cast<double>(counted) * 100.0;
+}
+
+}  // namespace teamplay::support

@@ -1,0 +1,61 @@
+// Statistical primitives shared by the energy-model fitting, the dynamic
+// profiler and the side-channel leakage metrics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace teamplay::support {
+
+/// Arithmetic mean; 0 for an empty sample.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// p-th percentile (0..100) by linear interpolation on the sorted sample.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Maximum; 0 for an empty sample.
+[[nodiscard]] double maximum(std::span<const double> xs);
+
+/// Minimum; 0 for an empty sample.
+[[nodiscard]] double minimum(std::span<const double> xs);
+
+/// Welch's t-statistic between two samples (unequal variances).  Used by the
+/// TVLA-style power leakage test; |t| > ~4.5 is the conventional leakage
+/// threshold.  Returns 0 when either sample has fewer than 2 points.
+[[nodiscard]] double welch_t(std::span<const double> a,
+                             std::span<const double> b);
+
+/// Pearson correlation coefficient; 0 when degenerate.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Histogram-based mutual information estimate (in bits) between a discrete
+/// label and a continuous observation, using `bins` equal-width bins over the
+/// observation range.  This is the workhorse of the indiscernibility metric:
+/// it quantifies how much information about the secret the observable leaks
+/// without assuming any particular attack.
+[[nodiscard]] double mutual_information(std::span<const int> labels,
+                                        std::span<const double> obs,
+                                        int bins = 16);
+
+/// Ordinary least squares: solve min ||A x - b||^2 for dense column-major-free
+/// small systems via normal equations with partial-pivot Gaussian
+/// elimination.  `rows[i]` is one observation row of length `cols`.
+/// Returns the coefficient vector (size `cols`); an all-zero vector when the
+/// system is singular.
+[[nodiscard]] std::vector<double> least_squares(
+    const std::vector<std::vector<double>>& rows, std::span<const double> b);
+
+/// Mean absolute percentage error between predictions and ground truth,
+/// skipping reference points closer to zero than `eps`.  Returned in percent.
+[[nodiscard]] double mape(std::span<const double> predicted,
+                          std::span<const double> actual, double eps = 1e-12);
+
+}  // namespace teamplay::support

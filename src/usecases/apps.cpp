@@ -1,0 +1,239 @@
+#include "usecases/apps.hpp"
+
+#include "support/rng.hpp"
+#include "usecases/kernels.hpp"
+
+namespace teamplay::usecases {
+
+UseCaseApp make_camera_pill_app() {
+    using namespace pill;
+    UseCaseApp app;
+    app.name = "camera_pill";
+    app.platform = platform::camera_pill_board();
+
+    ir::Program program;
+    program.memory_words = 8192;
+    program.add(make_capture("pill_capture", kFrame, kWidth, kHeight,
+                             kState));
+    program.add(make_delta_encode("pill_delta", kFrame, kPrev, kDelta,
+                                  kPixels));
+    program.add(make_rle_compress("pill_compress", kDelta, kComp, kPixels,
+                                  kLen));
+    program.add(make_xtea_encrypt_block("pill_xtea_block", kKey, kSpill));
+    program.add(make_xtea_buffer("pill_encrypt", "pill_xtea_block", kComp,
+                                 kEnc, kLen, kCompCap, kSpill));
+    program.add(make_xtea_decrypt_block("pill_xtea_unblock", kKey, kSpill));
+    program.add(make_transmit("pill_transmit", kEnc, kLen, kCompCap, kCrc));
+    app.program = std::move(program);
+
+    // Budgets: generous static envelopes the certificate must prove; the
+    // interesting comparison (traditional vs TeamPlay) is in the bench.
+    app.csl_source = R"(# Camera pill: 2 fps GI imaging with encryption (Sec. IV-A)
+app camera_pill on camera-pill deadline 100ms {
+  task capture  { entry pill_capture;  period 500ms; deadline 25ms;
+                  budget time 30ms; budget energy 30mJ; core_class mcu; }
+  task delta    { entry pill_delta;    period 500ms; deadline 45ms;
+                  budget time 30ms; budget energy 30mJ; core_class mcu; }
+  task compress { entry pill_compress; period 500ms; deadline 65ms;
+                  budget time 40ms; budget energy 40mJ; core_class mcu; }
+  task encrypt  { entry pill_encrypt;  period 500ms; deadline 95ms;
+                  budget time 120ms; budget energy 80mJ; budget leakage 4;
+                  security auto; core_class mcu; }
+  task transmit { entry pill_transmit; period 500ms; deadline 100ms;
+                  budget time 30ms; budget energy 30mJ; core_class mcu; }
+  flow capture -> delta -> compress -> encrypt -> transmit;
+}
+)";
+    return app;
+}
+
+void stage_xtea_key(sim::Machine& machine, const std::array<ir::Word, 4>& key,
+                    std::int64_t key_addr) {
+    for (std::size_t i = 0; i < key.size(); ++i)
+        machine.poke(static_cast<std::size_t>(key_addr) + i,
+                     key[i] & kMask32);
+}
+
+UseCaseApp make_space_app() {
+    using namespace space;
+    UseCaseApp app;
+    app.name = "spacewire_downlink";
+    app.platform = platform::gr712rc();
+
+    ir::Program program;
+    program.memory_words = 8192;
+    program.add(make_capture("sw_acquire", kImg, kWidth, kHeight, kState));
+    program.add(make_bin2x2("sw_bin", kImg, kBin, kWidth, kHeight));
+    program.add(make_rle_compress("sw_compress", kBin, kComp,
+                                  (kWidth / 2) * (kHeight / 2), kLen));
+    program.add(make_crc32("sw_crc", kComp, kLen, kCompCap, kCrc));
+    program.add(make_packetize("sw_packetize", kComp, kLen, kCompCap, kPkt,
+                               kPayloadWords, kPktLen));
+    program.add(make_transmit("sw_transmit", kPkt, kPktLen,
+                              kCompCap + 8 * (kPayloadWords + 3), kCrc + 1));
+    // Independent telemetry chain keeps the second LEON3 busy.
+    program.add(make_capture("sw_sensor", kTele, 8, 8, kState + 1));
+    {
+        // Telemetry length is fixed; publish it for the transmit kernel.
+        ir::FunctionBuilder b("sw_tele_len", 0);
+        b.store(b.imm(kTeleLen), b.imm(kTeleWords));
+        b.ret(b.imm(0));
+        program.add(b.build());
+    }
+    program.add(make_transmit("sw_telemetry", kTele, kTeleLen, kTeleWords,
+                              kTeleCrc));
+    app.program = std::move(program);
+
+    app.csl_source = R"(# SpaceWire image downlink on GR712RC (Sec. IV-B)
+app spacewire_downlink on gr712rc deadline 800ms {
+  task acquire   { entry sw_acquire;   period 1000ms; deadline 200ms;
+                   budget time 120ms; budget energy 700mJ; }
+  task bin       { entry sw_bin;       period 1000ms; deadline 300ms;
+                   budget time 80ms; budget energy 500mJ; after acquire; }
+  task compress  { entry sw_compress;  period 1000ms; deadline 450ms;
+                   budget time 80ms; budget energy 500mJ; after bin; }
+  task crc       { entry sw_crc;       period 1000ms; deadline 600ms;
+                   budget time 120ms; budget energy 700mJ; after compress; }
+  task packetize { entry sw_packetize; period 1000ms; deadline 700ms;
+                   budget time 120ms; budget energy 700mJ; after crc; }
+  task downlink  { entry sw_transmit;  period 1000ms; deadline 800ms;
+                   budget time 120ms; budget energy 700mJ; after packetize; }
+  task sensor    { entry sw_sensor;    period 1000ms; deadline 400ms;
+                   budget time 80ms; budget energy 500mJ; }
+  task telelen   { entry sw_tele_len;  period 1000ms; deadline 450ms;
+                   budget time 10ms; budget energy 100mJ; after sensor; }
+  task telemetry { entry sw_telemetry; period 1000ms; deadline 800ms;
+                   budget time 60ms; budget energy 400mJ; after telelen; }
+}
+)";
+    return app;
+}
+
+UseCaseApp make_uav_app(const std::string& platform_name) {
+    using namespace uav;
+    UseCaseApp app;
+    app.name = "uav_detection";
+    app.platform = platform::by_name(platform_name);
+
+    ir::Program program;
+    program.memory_words = 32768;
+    program.add(make_capture("uav_capture", kImg, kWidth, kHeight, kState));
+    program.add(make_bin2x2("uav_resize", kImg, kSmall, kWidth, kHeight));
+    program.add(make_sobel_detect("uav_detect", kSmall, kDet, kSmallW,
+                                  kSmallH, kHits, kThreshold));
+    program.add(make_centroid("uav_track", kDet, kSmallW, kSmallH, kTrack));
+    {
+        // Encode the detection summary (hits, centroid, frame tag) into the
+        // downlink buffer and publish its length.
+        ir::FunctionBuilder b("uav_encode", 0);
+        const auto buf = b.imm(kDl);
+        b.store(buf, b.load(b.imm(kHits)), 0);
+        b.store(buf, b.load(b.imm(kTrack)), 1);
+        b.store(buf, b.load(b.imm(kTrack + 1)), 2);
+        b.store(buf, b.load(b.imm(kState)), 3);
+        b.store(b.imm(kDlLen), b.imm(4));
+        b.ret(b.imm(0));
+        program.add(b.build());
+    }
+    program.add(make_transmit("uav_downlink", kDl, kDlLen, 16, kDlCrc));
+    app.program = std::move(program);
+
+    app.csl_source = "# UAV detection pipeline (Sec. IV-C)\n"
+                     "app uav_detection on " +
+                     platform_name + R"( deadline 200ms {
+  task capture  { entry uav_capture;  period 200ms; deadline 60ms;
+                  budget time 50ms; budget energy 200mJ; core_class big; }
+  task resize   { entry uav_resize;   period 200ms; deadline 90ms;
+                  budget time 40ms; budget energy 150mJ; core_class big;
+                  after capture; }
+  task detect   { entry uav_detect;   period 200ms; deadline 140ms;
+                  budget time 60ms; budget energy 250mJ; after resize; }
+  task track    { entry uav_track;    period 200ms; deadline 170ms;
+                  budget time 40ms; budget energy 150mJ; core_class big;
+                  after detect; }
+  task encode   { entry uav_encode;   period 200ms; deadline 185ms;
+                  budget time 20ms; budget energy 80mJ; core_class big;
+                  after track; }
+  task downlink { entry uav_downlink; period 200ms; deadline 200ms;
+                  budget time 20ms; budget energy 80mJ; core_class big;
+                  after encode; }
+}
+)";
+    return app;
+}
+
+UseCaseApp make_parking_app(bool on_m0) {
+    using namespace parking;
+    UseCaseApp app;
+    app.name = "parking_cnn";
+    app.platform =
+        on_m0 ? platform::nucleo_f091() : platform::apalis_tk1();
+
+    ir::Program program;
+    program.memory_words = 8192;
+    program.add(make_capture("park_capture", kIn, kInW, kInH, kState));
+    program.add(make_conv3x3_relu("park_conv", kIn, kW1, kF1, kInW, kInH,
+                                  kChannels));
+    program.add(make_maxpool2x2("park_pool", kF1, kP1, kConvW, kConvH,
+                                kChannels));
+    program.add(make_fc("park_fc1", kP1, kWfc1, kBfc1, kFc1, kFlat, kHidden,
+                        /*relu=*/true));
+    program.add(make_fc("park_fc2", kFc1, kWfc2, kBfc2, kFc2, kHidden,
+                        kClasses, /*relu=*/false));
+    program.add(make_argmax("park_decide", kFc2, kClasses, kResult));
+    app.program = std::move(program);
+
+    const std::string platform_name = app.platform.name;
+    const std::string core_constraint =
+        on_m0 ? "core_class mcu;" : "core_class big;";
+    app.csl_source = "# Free-parking-spot CNN (Sec. IV-D)\n"
+                     "app parking_cnn on " +
+                     platform_name + R"( deadline 1000ms {
+  task capture { entry park_capture; period 1000ms; deadline 200ms;
+                 budget time 100ms; budget energy 100mJ; )" +
+                     core_constraint + R"( }
+  task conv    { entry park_conv;    period 1000ms; deadline 600ms;
+                 budget time 400ms; budget energy 300mJ; after capture; }
+  task pool    { entry park_pool;    period 1000ms; deadline 700ms;
+                 budget time 100ms; budget energy 100mJ; after conv; }
+  task fc1     { entry park_fc1;     period 1000ms; deadline 850ms;
+                 budget time 200ms; budget energy 200mJ; after pool; }
+  task fc2     { entry park_fc2;     period 1000ms; deadline 900ms;
+                 budget time 50ms; budget energy 50mJ; after fc1; }
+  task decide  { entry park_decide;  period 1000ms; deadline 1000ms;
+                 budget time 20ms; budget energy 20mJ; after fc2; }
+}
+)";
+    return app;
+}
+
+void stage_parking_weights(sim::Machine& machine, std::uint64_t seed) {
+    using namespace parking;
+    support::Rng rng(seed);
+
+    // Conv stage: four Q8 edge/blob detectors.
+    const std::array<std::array<ir::Word, 9>, 4> conv_kernels = {{
+        {-256, 0, 256, -512, 0, 512, -256, 0, 256},     // vertical edges
+        {-256, -512, -256, 0, 0, 0, 256, 512, 256},     // horizontal edges
+        {-256, -256, -256, -256, 2048, -256, -256, -256, -256},  // blob
+        {0, 256, 0, 256, -1024, 256, 0, 256, 0},        // laplacian
+    }};
+    for (std::size_t c = 0; c < conv_kernels.size(); ++c)
+        for (std::size_t k = 0; k < 9; ++k)
+            machine.poke(static_cast<std::size_t>(kW1) + c * 9 + k,
+                         conv_kernels[c][k]);
+
+    // FC stages: small signed Q8 weights, deterministic from the seed.
+    for (std::int64_t i = 0; i < kHidden * kFlat; ++i)
+        machine.poke(static_cast<std::size_t>(kWfc1 + i),
+                     rng.range(-48, 48));
+    for (std::int64_t i = 0; i < kHidden; ++i)
+        machine.poke(static_cast<std::size_t>(kBfc1 + i), rng.range(-8, 8));
+    for (std::int64_t i = 0; i < kClasses * kHidden; ++i)
+        machine.poke(static_cast<std::size_t>(kWfc2 + i),
+                     rng.range(-96, 96));
+    for (std::int64_t i = 0; i < kClasses; ++i)
+        machine.poke(static_cast<std::size_t>(kBfc2 + i), rng.range(-16, 16));
+}
+
+}  // namespace teamplay::usecases

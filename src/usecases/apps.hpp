@@ -1,0 +1,127 @@
+// The four industrial use cases of Sec. IV, assembled from the kernel
+// library: complete IR programs, their CSL annotation sources, and the
+// target platforms.  Memory maps are public so tests, examples and benches
+// can stage inputs and inspect outputs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "ir/program.hpp"
+#include "platform/platform.hpp"
+#include "sim/machine.hpp"
+
+namespace teamplay::usecases {
+
+struct UseCaseApp {
+    std::string name;
+    ir::Program program;
+    std::string csl_source;
+    platform::Platform platform;
+};
+
+// -- Camera pill (Sec. IV-A): Cortex-M0 + FPGA, 2 fps imaging pipeline -------
+namespace pill {
+inline constexpr std::int64_t kWidth = 32;
+inline constexpr std::int64_t kHeight = 24;
+inline constexpr std::int64_t kPixels = kWidth * kHeight;
+inline constexpr std::int64_t kState = 8;    ///< sensor LCG state
+inline constexpr std::int64_t kLen = 16;     ///< compressed length (+scratch)
+inline constexpr std::int64_t kCrc = 24;     ///< transmit checksum
+inline constexpr std::int64_t kSpill = 32;   ///< XTEA v1 spill word
+inline constexpr std::int64_t kKey = 40;     ///< 4-word XTEA key
+inline constexpr std::int64_t kFrame = 1024;
+inline constexpr std::int64_t kPrev = 2048;
+inline constexpr std::int64_t kDelta = 3072;
+inline constexpr std::int64_t kComp = 4096;  ///< worst case 2*kPixels words
+inline constexpr std::int64_t kEnc = 6144;
+inline constexpr std::int64_t kCompCap = 2 * kPixels;
+}  // namespace pill
+
+[[nodiscard]] UseCaseApp make_camera_pill_app();
+
+/// Write an XTEA key into pill/space memory.
+void stage_xtea_key(sim::Machine& machine,
+                    const std::array<ir::Word, 4>& key,
+                    std::int64_t key_addr = pill::kKey);
+
+// -- Space / SpaceWire downlink (Sec. IV-B): dual LEON3 GR712RC ---------------
+namespace space {
+inline constexpr std::int64_t kWidth = 32;
+inline constexpr std::int64_t kHeight = 32;
+inline constexpr std::int64_t kState = 8;
+inline constexpr std::int64_t kLen = 16;
+inline constexpr std::int64_t kCrc = 24;
+inline constexpr std::int64_t kPktLen = 28;
+inline constexpr std::int64_t kTeleLen = 34;   ///< telemetry block length
+inline constexpr std::int64_t kTeleCrc = 44;
+inline constexpr std::int64_t kImg = 1024;     ///< 1024 px
+inline constexpr std::int64_t kBin = 2048;     ///< 16x16 binned
+inline constexpr std::int64_t kComp = 3072;    ///< RLE, cap 514
+inline constexpr std::int64_t kPkt = 4096;     ///< packet stream
+inline constexpr std::int64_t kTele = 5500;    ///< telemetry samples
+inline constexpr std::int64_t kCompCap = 2 * 16 * 16 + 2;
+inline constexpr std::int64_t kPayloadWords = 16;
+inline constexpr std::int64_t kTeleWords = 64;
+}  // namespace space
+
+[[nodiscard]] UseCaseApp make_space_app();
+
+// -- UAV search-and-rescue / precision agriculture (Sec. IV-C) ----------------
+namespace uav {
+inline constexpr std::int64_t kWidth = 64;
+inline constexpr std::int64_t kHeight = 48;
+inline constexpr std::int64_t kSmallW = kWidth / 2;
+inline constexpr std::int64_t kSmallH = kHeight / 2;
+inline constexpr std::int64_t kState = 8;
+inline constexpr std::int64_t kHits = 16;
+inline constexpr std::int64_t kTrack = 20;  ///< cx, cy (+3 scratch)
+inline constexpr std::int64_t kDlLen = 30;
+inline constexpr std::int64_t kDlCrc = 36;
+inline constexpr std::int64_t kImg = 1024;
+inline constexpr std::int64_t kSmall = 8192;
+inline constexpr std::int64_t kDet = 16384;
+inline constexpr std::int64_t kDl = 20480;  ///< downlink buffer
+inline constexpr std::int64_t kThreshold = 220;
+}  // namespace uav
+
+/// `platform_name`: "apalis-tk1", "jetson-tx2" or "jetson-nano".
+[[nodiscard]] UseCaseApp make_uav_app(
+    const std::string& platform_name = "apalis-tk1");
+
+// -- Deep-learning parking detection (Sec. IV-D) -------------------------------
+namespace parking {
+inline constexpr std::int64_t kInW = 16;
+inline constexpr std::int64_t kInH = 16;
+inline constexpr std::int64_t kChannels = 4;
+inline constexpr std::int64_t kConvW = kInW - 2;   // 14
+inline constexpr std::int64_t kConvH = kInH - 2;   // 14
+inline constexpr std::int64_t kPoolW = kConvW / 2; // 7
+inline constexpr std::int64_t kPoolH = kConvH / 2; // 7
+inline constexpr std::int64_t kFlat = kChannels * kPoolW * kPoolH;  // 196
+inline constexpr std::int64_t kHidden = 8;
+inline constexpr std::int64_t kClasses = 5;  ///< 0..4 free spots
+inline constexpr std::int64_t kState = 8;
+inline constexpr std::int64_t kResult = 40;
+inline constexpr std::int64_t kW1 = 512;      ///< 4*9 conv weights (Q8)
+inline constexpr std::int64_t kIn = 1024;     ///< 256 px
+inline constexpr std::int64_t kF1 = 2048;     ///< 4*14*14
+inline constexpr std::int64_t kP1 = 4096;     ///< 4*7*7
+inline constexpr std::int64_t kWfc1 = 4608;   ///< 8*196
+inline constexpr std::int64_t kBfc1 = 6208;   ///< 8
+inline constexpr std::int64_t kFc1 = 6272;    ///< 8
+inline constexpr std::int64_t kWfc2 = 6656;   ///< 5*8
+inline constexpr std::int64_t kBfc2 = 6700;   ///< 5
+inline constexpr std::int64_t kFc2 = 6720;    ///< 5
+}  // namespace parking
+
+/// `on_m0`: true = Nucleo-F091 (compiler variant study), false = Apalis TK1
+/// (coordination-only study), matching the two halves of Sec. IV-D.
+[[nodiscard]] UseCaseApp make_parking_app(bool on_m0);
+
+/// Deterministically initialise the CNN weights (Q8 fixed point: edge
+/// detectors for the conv stage, seeded pseudo-random for the FC stages).
+void stage_parking_weights(sim::Machine& machine, std::uint64_t seed = 2024);
+
+}  // namespace teamplay::usecases

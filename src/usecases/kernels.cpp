@@ -1,0 +1,480 @@
+#include "usecases/kernels.hpp"
+
+namespace teamplay::usecases {
+
+using ir::FunctionBuilder;
+using ir::Reg;
+
+ir::Function make_capture(const std::string& name, std::int64_t dst,
+                          std::int64_t w, std::int64_t h,
+                          std::int64_t state_addr) {
+    FunctionBuilder b(name, 0);
+    const Reg state_ptr = b.imm(state_addr);
+    const Reg dst_base = b.imm(dst);
+    const Reg y = b.loop_begin(h);
+    const Reg row_base = b.add(dst_base, b.mul_imm(y, w));
+    const Reg x = b.loop_begin(w);
+    // LCG state lives in memory so the loop stays unrollable.
+    const Reg state = b.load(state_ptr);
+    const Reg next = b.and_imm(
+        b.add_imm(b.mul_imm(state, 1103515245), 12345), 0x7FFFFFFF);
+    b.store(state_ptr, next);
+    const Reg noise = b.and_imm(b.shr_imm(next, 16), 63);
+    // Smooth spatial ramp + sensor noise, clipped to a byte.
+    const Reg ramp = b.add(b.shl_imm(x, 1), b.mul_imm(y, 3));
+    const Reg pixel = b.and_imm(b.add(ramp, noise), 255);
+    b.store(b.add(row_base, x), pixel);
+    b.loop_end();
+    b.loop_end();
+    b.ret(b.imm(0));
+    return b.build();
+}
+
+ir::Function make_delta_encode(const std::string& name, std::int64_t src,
+                               std::int64_t prev, std::int64_t dst,
+                               std::int64_t count) {
+    FunctionBuilder b(name, 0);
+    const Reg i = b.loop_begin(count);
+    const Reg s = b.load(b.add_imm(i, src));
+    const Reg p = b.load(b.add_imm(i, prev));
+    const Reg d = b.and_imm(b.sub(s, p), 255);
+    b.store(b.add_imm(i, dst), d);
+    b.store(b.add_imm(i, prev), s);
+    b.loop_end();
+    b.ret(b.imm(0));
+    return b.build();
+}
+
+ir::Function make_bin2x2(const std::string& name, std::int64_t src,
+                         std::int64_t dst, std::int64_t w, std::int64_t h) {
+    FunctionBuilder b(name, 0);
+    const Reg y = b.loop_begin(h / 2);
+    const Reg x = b.loop_begin(w / 2);
+    const Reg in_base =
+        b.add_imm(b.add(b.mul_imm(y, 2 * w), b.shl_imm(x, 1)), src);
+    const Reg a = b.load(in_base, 0);
+    const Reg c = b.load(in_base, 1);
+    const Reg d = b.load(in_base, w);
+    const Reg e = b.load(in_base, w + 1);
+    const Reg sum = b.add(b.add(a, c), b.add(d, e));
+    const Reg out_addr =
+        b.add_imm(b.add(b.mul_imm(y, w / 2), x), dst);
+    b.store(out_addr, b.shr_imm(sum, 2));
+    b.loop_end();
+    b.loop_end();
+    b.ret(b.imm(0));
+    return b.build();
+}
+
+ir::Function make_sobel_detect(const std::string& name, std::int64_t src,
+                               std::int64_t dst, std::int64_t w,
+                               std::int64_t h, std::int64_t hits_addr,
+                               std::int64_t threshold) {
+    FunctionBuilder b(name, 0);
+    const Reg hits_ptr = b.imm(hits_addr);
+    b.store(hits_ptr, b.imm(0));
+    const Reg thr = b.imm(threshold);
+    const Reg yi = b.loop_begin(h - 2);
+    const Reg y = b.add_imm(yi, 1);
+    const Reg xi = b.loop_begin(w - 2);
+    const Reg x = b.add_imm(xi, 1);
+    const Reg base = b.add_imm(b.add(b.mul_imm(y, w), x), src);
+    // Sobel gx/gy over the 8-neighbourhood (offsets resolved at build time).
+    const Reg nw = b.load(base, -w - 1);
+    const Reg nn = b.load(base, -w);
+    const Reg ne = b.load(base, -w + 1);
+    const Reg ww = b.load(base, -1);
+    const Reg ee = b.load(base, 1);
+    const Reg sw = b.load(base, w - 1);
+    const Reg ss = b.load(base, w);
+    const Reg se = b.load(base, w + 1);
+    const Reg gx = b.sub(b.add(b.add(ne, se), b.shl_imm(ee, 1)),
+                         b.add(b.add(nw, sw), b.shl_imm(ww, 1)));
+    const Reg gy = b.sub(b.add(b.add(sw, se), b.shl_imm(ss, 1)),
+                         b.add(b.add(nw, ne), b.shl_imm(nn, 1)));
+    const Reg mag = b.add(b.sabs(gx), b.sabs(gy));
+    const Reg det = b.cmp_gt(mag, thr);
+    b.store(b.add_imm(b.add(b.mul_imm(y, w), x), dst), det);
+    b.store(hits_ptr, b.add(b.load(hits_ptr), det));
+    b.loop_end();
+    b.loop_end();
+    b.ret(b.load(hits_ptr));
+    return b.build();
+}
+
+ir::Function make_centroid(const std::string& name, std::int64_t map,
+                           std::int64_t w, std::int64_t h, std::int64_t out) {
+    FunctionBuilder b(name, 0);
+    const Reg sx = b.imm(out + 2);  // scratch cells behind the output
+    const Reg sy = b.imm(out + 3);
+    const Reg n = b.imm(out + 4);
+    b.store(sx, b.imm(0));
+    b.store(sy, b.imm(0));
+    b.store(n, b.imm(0));
+    const Reg y = b.loop_begin(h);
+    const Reg x = b.loop_begin(w);
+    const Reg v = b.load(b.add_imm(b.add(b.mul_imm(y, w), x), map));
+    b.store(sx, b.add(b.load(sx), b.mul(x, v)));
+    b.store(sy, b.add(b.load(sy), b.mul(y, v)));
+    b.store(n, b.add(b.load(n), v));
+    b.loop_end();
+    b.loop_end();
+    const Reg count = b.smax(b.load(n), b.imm(1));
+    const Reg cx = b.div(b.mul_imm(b.load(sx), 256), b.mul_imm(count, w));
+    const Reg cy = b.div(b.mul_imm(b.load(sy), 256), b.mul_imm(count, h));
+    b.store(b.imm(out), cx);
+    b.store(b.imm(out + 1), cy);
+    b.ret(b.load(n));
+    return b.build();
+}
+
+ir::Function make_rle_compress(const std::string& name, std::int64_t src,
+                               std::int64_t dst, std::int64_t count,
+                               std::int64_t len_addr) {
+    FunctionBuilder b(name, 0);
+    const Reg out_cell = b.imm(len_addr + 1);   // output cursor
+    const Reg cnt_cell = b.imm(len_addr + 2);   // current run length
+    const Reg prev_cell = b.imm(len_addr + 3);  // current run value
+    b.store(out_cell, b.imm(0));
+    b.store(cnt_cell, b.imm(0));
+    b.store(prev_cell, b.imm(0));
+
+    const Reg i = b.loop_begin(count);
+    const Reg v = b.load(b.add_imm(i, src));
+    const Reg run = b.load(cnt_cell);
+    const Reg prev = b.load(prev_cell);
+    const Reg same =
+        b.band(b.cmp_eq(v, prev), b.cmp_lt(run, b.imm(255)));
+    b.if_begin(same);
+    {
+        b.store(cnt_cell, b.add_imm(run, 1));
+    }
+    b.if_else();
+    {
+        const Reg had_run = b.cmp_gt(run, b.imm(0));
+        b.if_begin(had_run);
+        {
+            const Reg o = b.load(out_cell);
+            b.store(b.add_imm(o, dst), run);
+            b.store(b.add_imm(o, dst + 1), prev);
+            b.store(out_cell, b.add_imm(o, 2));
+        }
+        b.if_end();
+        b.store(cnt_cell, b.imm(1));
+        b.store(prev_cell, v);
+    }
+    b.if_end();
+    b.loop_end();
+
+    // Flush the trailing run.
+    const Reg run_end = b.load(cnt_cell);
+    const Reg tail = b.cmp_gt(run_end, b.imm(0));
+    b.if_begin(tail);
+    {
+        const Reg o = b.load(out_cell);
+        b.store(b.add_imm(o, dst), run_end);
+        b.store(b.add_imm(o, dst + 1), b.load(prev_cell));
+        b.store(out_cell, b.add_imm(o, 2));
+    }
+    b.if_end();
+    const Reg total = b.load(out_cell);
+    b.store(b.imm(len_addr), total);
+    b.ret(total);
+    return b.build();
+}
+
+ir::Function make_rle_decompress(const std::string& name, std::int64_t src,
+                                 std::int64_t dst, std::int64_t len_addr,
+                                 std::int64_t max_pairs) {
+    FunctionBuilder b(name, 0);
+    const Reg out_cell = b.imm(len_addr + 4);
+    b.store(out_cell, b.imm(0));
+    const Reg pairs = b.shr_imm(b.load(b.imm(len_addr)), 1);
+    const Reg k = b.dynamic_loop_begin(pairs, max_pairs);
+    const Reg pair_base = b.add_imm(b.shl_imm(k, 1), src);
+    const Reg run = b.load(pair_base, 0);
+    const Reg value = b.load(pair_base, 1);
+    const Reg o = b.load(out_cell);
+    const Reg j = b.dynamic_loop_begin(run, 255);
+    b.store(b.add(b.add_imm(o, dst), j), value);
+    b.loop_end();
+    b.store(out_cell, b.add(o, run));
+    b.loop_end();
+    const Reg total = b.load(out_cell);
+    b.ret(total);
+    return b.build();
+}
+
+ir::Function make_crc32(const std::string& name, std::int64_t src,
+                        std::int64_t len_addr, std::int64_t max_words,
+                        std::int64_t crc_addr) {
+    FunctionBuilder b(name, 0);
+    const Reg crc_cell = b.imm(crc_addr + 1);  // scratch behind the result
+    b.store(crc_cell, b.imm(kMask32));
+    const Reg poly = b.imm(0xEDB88320);
+    const Reg zero = b.imm(0);
+    const Reg len = b.load(b.imm(len_addr));
+    const Reg i = b.dynamic_loop_begin(len, max_words);
+    const Reg byte = b.and_imm(b.load(b.add_imm(i, src)), 255);
+    Reg crc = b.bxor(b.load(crc_cell), byte);
+    for (int bit = 0; bit < 8; ++bit) {
+        const Reg lsb = b.band(crc, b.imm(1));
+        const Reg mask = b.select(lsb, poly, zero);
+        crc = b.bxor(b.shr_imm(crc, 1), mask);
+    }
+    b.store(crc_cell, crc);
+    b.loop_end();
+    const Reg final_crc =
+        b.and_imm(b.bxor(b.load(crc_cell), b.imm(kMask32)), kMask32);
+    b.store(b.imm(crc_addr), final_crc);
+    b.ret(final_crc);
+    return b.build();
+}
+
+namespace {
+
+/// Common XTEA round helpers; all arithmetic emulates uint32.
+Reg mask32(FunctionBuilder& b, Reg v) { return b.and_imm(v, kMask32); }
+
+Reg xtea_mix(FunctionBuilder& b, Reg v) {
+    // ((v << 4) ^ (v >> 5)) + v, masked to 32 bits.
+    const Reg left = b.and_imm(b.shl_imm(v, 4), kMask32);
+    const Reg right = b.shr_imm(v, 5);
+    return mask32(b, b.add(b.bxor(left, right), v));
+}
+
+Reg xtea_key_lookup(FunctionBuilder& b, Reg index, std::int64_t key_addr) {
+    // Secret key material: the load is the taint source.
+    const Reg addr = b.add_imm(index, key_addr);
+    const Reg key = b.load(addr);
+    return b.secret(key);
+}
+
+}  // namespace
+
+ir::Function make_xtea_encrypt_block(const std::string& name,
+                                     std::int64_t key_addr,
+                                     std::int64_t spill_addr) {
+    FunctionBuilder b(name, 2);
+    const Reg v0 = b.mov(b.param(0));
+    const Reg v1 = b.mov(b.param(1));
+    const Reg sum = b.imm(0);
+    const Reg delta = b.imm(0x9E3779B9);
+    (void)b.loop_begin(32);
+    {
+        const Reg k0 = xtea_key_lookup(b, b.and_imm(sum, 3), key_addr);
+        const Reg t0 = b.bxor(xtea_mix(b, v1), mask32(b, b.add(sum, k0)));
+        b.assign(v0, mask32(b, b.add(v0, t0)));
+        b.assign(sum, mask32(b, b.add(sum, delta)));
+        const Reg k1 = xtea_key_lookup(
+            b, b.and_imm(b.shr_imm(sum, 11), 3), key_addr);
+        const Reg t1 = b.bxor(xtea_mix(b, v0), mask32(b, b.add(sum, k1)));
+        b.assign(v1, mask32(b, b.add(v1, t1)));
+    }
+    b.loop_end();
+    b.store(b.imm(spill_addr), v1);
+    b.ret(v0);
+    return b.build();
+}
+
+ir::Function make_xtea_decrypt_block(const std::string& name,
+                                     std::int64_t key_addr,
+                                     std::int64_t spill_addr) {
+    FunctionBuilder b(name, 2);
+    const Reg v0 = b.mov(b.param(0));
+    const Reg v1 = b.mov(b.param(1));
+    const Reg delta = b.imm(0x9E3779B9);
+    // sum starts at delta * 32 (mod 2^32).
+    const Reg sum = b.mov(b.imm(0xC6EF3720));
+    (void)b.loop_begin(32);
+    {
+        const Reg k1 = xtea_key_lookup(
+            b, b.and_imm(b.shr_imm(sum, 11), 3), key_addr);
+        const Reg t1 = b.bxor(xtea_mix(b, v0), mask32(b, b.add(sum, k1)));
+        b.assign(v1, mask32(b, b.sub(v1, t1)));
+        b.assign(sum, mask32(b, b.sub(sum, delta)));
+        const Reg k0 = xtea_key_lookup(b, b.and_imm(sum, 3), key_addr);
+        const Reg t0 = b.bxor(xtea_mix(b, v1), mask32(b, b.add(sum, k0)));
+        b.assign(v0, mask32(b, b.sub(v0, t0)));
+    }
+    b.loop_end();
+    b.store(b.imm(spill_addr), v1);
+    b.ret(v0);
+    return b.build();
+}
+
+ir::Function make_xtea_buffer(const std::string& name,
+                              const std::string& block_fn, std::int64_t src,
+                              std::int64_t dst, std::int64_t len_addr,
+                              std::int64_t max_words,
+                              std::int64_t spill_addr) {
+    FunctionBuilder b(name, 0);
+    const Reg len = b.load(b.imm(len_addr));
+    const Reg blocks = b.shr_imm(b.add_imm(len, 1), 1);  // ceil(len/2)
+    const Reg k = b.dynamic_loop_begin(blocks, (max_words + 1) / 2);
+    const Reg base = b.shl_imm(k, 1);
+    const Reg v0 = b.load(b.add_imm(base, src));
+    const Reg v1 = b.load(b.add_imm(base, src + 1));
+    const Reg e0 = b.call(block_fn, {v0, v1});
+    const Reg e1 = b.load(b.imm(spill_addr));
+    b.store(b.add_imm(base, dst), e0);
+    b.store(b.add_imm(base, dst + 1), e1);
+    b.loop_end();
+    b.ret(len);
+    return b.build();
+}
+
+ir::Function make_conv3x3_relu(const std::string& name, std::int64_t src,
+                               std::int64_t weights, std::int64_t dst,
+                               std::int64_t w, std::int64_t h,
+                               std::int64_t channels) {
+    FunctionBuilder b(name, 0);
+    const std::int64_t ow = w - 2;
+    const std::int64_t oh = h - 2;
+    const Reg zero = b.imm(0);
+    const Reg c = b.loop_begin(channels);
+    const Reg wbase = b.add_imm(b.mul_imm(c, 9), weights);
+    const Reg obase = b.add_imm(b.mul_imm(c, ow * oh), dst);
+    const Reg y = b.loop_begin(oh);
+    const Reg x = b.loop_begin(ow);
+    const Reg in_base = b.add_imm(b.add(b.mul_imm(y, w), x), src);
+    Reg acc = zero;
+    for (std::int64_t ky = 0; ky < 3; ++ky) {
+        for (std::int64_t kx = 0; kx < 3; ++kx) {
+            const Reg pixel = b.load(in_base, ky * w + kx);
+            const Reg weight = b.load(wbase, ky * 3 + kx);
+            acc = b.add(acc, b.mul(pixel, weight));
+        }
+    }
+    // Q8 weights: scale the accumulator back, then ReLU.
+    const Reg scaled = b.shr_imm(acc, 8);
+    const Reg activated = b.smax(scaled, zero);
+    b.store(b.add(b.add(obase, b.mul_imm(y, ow)), x), activated);
+    b.loop_end();
+    b.loop_end();
+    b.loop_end();
+    b.ret(b.imm(0));
+    return b.build();
+}
+
+ir::Function make_maxpool2x2(const std::string& name, std::int64_t src,
+                             std::int64_t dst, std::int64_t w,
+                             std::int64_t h, std::int64_t channels) {
+    FunctionBuilder b(name, 0);
+    const std::int64_t ow = w / 2;
+    const std::int64_t oh = h / 2;
+    const Reg c = b.loop_begin(channels);
+    const Reg in_plane = b.add_imm(b.mul_imm(c, w * h), src);
+    const Reg out_plane = b.add_imm(b.mul_imm(c, ow * oh), dst);
+    const Reg y = b.loop_begin(oh);
+    const Reg x = b.loop_begin(ow);
+    const Reg base =
+        b.add(b.add(in_plane, b.mul_imm(y, 2 * w)), b.shl_imm(x, 1));
+    const Reg m = b.smax(b.smax(b.load(base, 0), b.load(base, 1)),
+                         b.smax(b.load(base, w), b.load(base, w + 1)));
+    b.store(b.add(b.add(out_plane, b.mul_imm(y, ow)), x), m);
+    b.loop_end();
+    b.loop_end();
+    b.loop_end();
+    b.ret(b.imm(0));
+    return b.build();
+}
+
+ir::Function make_fc(const std::string& name, std::int64_t src,
+                     std::int64_t weights, std::int64_t bias,
+                     std::int64_t dst, std::int64_t in_n, std::int64_t out_n,
+                     bool relu) {
+    FunctionBuilder b(name, 0);
+    const Reg zero = b.imm(0);
+    const Reg j = b.loop_begin(out_n);
+    const Reg wrow = b.add_imm(b.mul_imm(j, in_n), weights);
+    const Reg acc = b.mov(zero);
+    const Reg i = b.loop_begin(in_n);
+    const Reg input = b.load(b.add_imm(i, src));
+    const Reg weight = b.load(b.add(wrow, i));
+    b.assign(acc, b.add(acc, b.mul(input, weight)));
+    b.loop_end();
+    Reg out = b.add(b.shr_imm(acc, 8), b.load(b.add_imm(j, bias)));
+    if (relu) out = b.smax(out, zero);
+    b.store(b.add_imm(j, dst), out);
+    b.loop_end();
+    b.ret(b.imm(0));
+    return b.build();
+}
+
+ir::Function make_argmax(const std::string& name, std::int64_t src,
+                         std::int64_t n, std::int64_t out) {
+    FunctionBuilder b(name, 0);
+    const Reg best = b.mov(b.imm(-(1LL << 62)));
+    const Reg best_index = b.mov(b.imm(0));
+    const Reg i = b.loop_begin(n);
+    const Reg v = b.load(b.add_imm(i, src));
+    const Reg better = b.cmp_gt(v, best);
+    b.assign(best, b.select(better, v, best));
+    b.assign(best_index, b.select(better, i, best_index));
+    b.loop_end();
+    b.store(b.imm(out), best_index);
+    b.ret(best_index);
+    return b.build();
+}
+
+ir::Function make_transmit(const std::string& name, std::int64_t src,
+                           std::int64_t len_addr, std::int64_t max_words,
+                           std::int64_t out) {
+    FunctionBuilder b(name, 0);
+    const Reg len = b.load(b.imm(len_addr));
+    const Reg sum = b.mov(b.imm(0));
+    const Reg i = b.dynamic_loop_begin(len, max_words);
+    const Reg v = b.load(b.add_imm(i, src));
+    // Per-word serialisation cost: checksum + 4 scrambler steps modelling
+    // the radio/SpaceWire symbol pipeline.
+    Reg scrambled = b.bxor(v, b.shl_imm(v, 3));
+    scrambled = b.bxor(scrambled, b.shr_imm(scrambled, 2));
+    scrambled = b.bxor(scrambled, b.shl_imm(scrambled, 1));
+    scrambled = b.and_imm(scrambled, kMask32);
+    b.assign(sum, b.and_imm(b.add(b.mul_imm(sum, 31), scrambled), kMask32));
+    b.loop_end();
+    b.store(b.imm(out), sum);
+    b.ret(sum);
+    return b.build();
+}
+
+ir::Function make_packetize(const std::string& name, std::int64_t src,
+                            std::int64_t len_addr, std::int64_t max_words,
+                            std::int64_t dst, std::int64_t payload_words,
+                            std::int64_t out_len_addr) {
+    FunctionBuilder b(name, 0);
+    const Reg len = b.load(b.imm(len_addr));
+    const Reg packets = b.div(b.add_imm(len, payload_words - 1),
+                              b.imm(payload_words));
+    const std::int64_t max_packets =
+        (max_words + payload_words - 1) / payload_words;
+    const Reg out_cell = b.imm(out_len_addr + 1);
+    b.store(out_cell, b.imm(0));
+
+    const Reg k = b.dynamic_loop_begin(packets, max_packets);
+    const Reg o = b.load(out_cell);
+    const Reg pkt_base = b.add_imm(o, dst);
+    b.store(pkt_base, b.imm(0xFE), 0);  // destination logical address
+    b.store(pkt_base, k, 1);            // sequence number
+    const Reg sum = b.mov(b.imm(0));
+    const Reg in_base = b.mul_imm(k, payload_words);
+    const Reg j = b.loop_begin(payload_words);
+    const Reg idx = b.add(in_base, j);
+    const Reg in_range = b.cmp_lt(idx, len);
+    const Reg raw = b.load(b.add_imm(idx, src));
+    const Reg v = b.select(in_range, raw, b.imm(0));
+    b.store(b.add(b.add_imm(pkt_base, 2), j), v);
+    b.assign(sum, b.and_imm(b.add(sum, v), kMask32));
+    b.loop_end();
+    b.store(b.add_imm(pkt_base, 2 + payload_words), sum);
+    b.store(out_cell, b.add_imm(o, payload_words + 3));
+    b.loop_end();
+
+    const Reg total = b.load(out_cell);
+    b.store(b.imm(out_len_addr), total);
+    b.ret(total);
+    return b.build();
+}
+
+}  // namespace teamplay::usecases

@@ -1,0 +1,167 @@
+// Shared IR kernel library for the industrial use cases (Sec. IV).
+//
+// Every kernel is a genuine implementation — XTEA really encrypts, RLE
+// really round-trips, the CNN really classifies — executing on the simulated
+// boards through the IR interpreter.  All kernels operate on word-granular
+// buffers in the program's shared memory (one pixel/byte per 64-bit word)
+// and communicate through fixed addresses supplied by the use-case memory
+// maps, so task entry functions take no parameters (which is also what the
+// generated glue code expects).
+#pragma once
+
+#include <cstdint>
+
+#include "ir/builder.hpp"
+#include "ir/program.hpp"
+
+namespace teamplay::usecases {
+
+/// 32-bit mask used by the cipher kernels to emulate uint32 arithmetic.
+inline constexpr ir::Word kMask32 = 0xFFFFFFFF;
+
+// -- imaging -----------------------------------------------------------------
+
+/// Deterministic synthetic frame generator: writes `w*h` pixels (0..255) at
+/// `dst`, evolving the LCG state kept at `state_addr` so consecutive frames
+/// differ but stay correlated (smooth rows), like a real sensor.
+[[nodiscard]] ir::Function make_capture(const std::string& name,
+                                        std::int64_t dst, std::int64_t w,
+                                        std::int64_t h,
+                                        std::int64_t state_addr);
+
+/// dst[i] = (src[i] - prev[i]) mod 256, then prev[i] = src[i].
+[[nodiscard]] ir::Function make_delta_encode(const std::string& name,
+                                             std::int64_t src,
+                                             std::int64_t prev,
+                                             std::int64_t dst,
+                                             std::int64_t count);
+
+/// 2x2 mean binning: (w x h) at src -> (w/2 x h/2) at dst.
+[[nodiscard]] ir::Function make_bin2x2(const std::string& name,
+                                       std::int64_t src, std::int64_t dst,
+                                       std::int64_t w, std::int64_t h);
+
+/// Sobel gradient magnitude + threshold over the interior of a (w x h)
+/// image: writes a 0/1 detection map at `dst` and the number of hits at
+/// `hits_addr`; returns the hit count.
+[[nodiscard]] ir::Function make_sobel_detect(const std::string& name,
+                                             std::int64_t src,
+                                             std::int64_t dst, std::int64_t w,
+                                             std::int64_t h,
+                                             std::int64_t hits_addr,
+                                             std::int64_t threshold);
+
+/// Centroid of the set bits of a (w x h) 0/1 map: writes x*256/w and
+/// y*256/h (fixed point) to out and out+1.
+[[nodiscard]] ir::Function make_centroid(const std::string& name,
+                                         std::int64_t map, std::int64_t w,
+                                         std::int64_t h, std::int64_t out);
+
+// -- compression ---------------------------------------------------------------
+
+/// Run-length encode `count` words at `src` into (run,value) pairs at `dst`;
+/// stores the emitted pair-list length (in words) at `len_addr` and returns
+/// it.  Runs are capped at 255.
+[[nodiscard]] ir::Function make_rle_compress(const std::string& name,
+                                             std::int64_t src,
+                                             std::int64_t dst,
+                                             std::int64_t count,
+                                             std::int64_t len_addr);
+
+/// Inverse of make_rle_compress: reads the length from `len_addr`,
+/// reconstructs at `dst`, returns the number of words written.
+/// `max_pairs` bounds the outer loop; 255 bounds each run.
+[[nodiscard]] ir::Function make_rle_decompress(const std::string& name,
+                                               std::int64_t src,
+                                               std::int64_t dst,
+                                               std::int64_t len_addr,
+                                               std::int64_t max_pairs);
+
+// -- integrity / crypto -----------------------------------------------------------
+
+/// Bitwise CRC-32 (poly 0xEDB88320) over `len_addr`-many words at `src`
+/// (bounded by `max_words`); each word contributes its low 8 bits.  Stores
+/// and returns the final CRC.
+[[nodiscard]] ir::Function make_crc32(const std::string& name,
+                                      std::int64_t src,
+                                      std::int64_t len_addr,
+                                      std::int64_t max_words,
+                                      std::int64_t crc_addr);
+
+/// XTEA block encryption of one 64-bit block held as two 32-bit words:
+/// params (v0, v1) with the 4-word key at `key_addr` (loaded as secret
+/// data); 32 rounds; returns v0' and stores v1' at `spill_addr`.
+[[nodiscard]] ir::Function make_xtea_encrypt_block(const std::string& name,
+                                                   std::int64_t key_addr,
+                                                   std::int64_t spill_addr);
+
+/// XTEA decryption of one block (inverse of the above).
+[[nodiscard]] ir::Function make_xtea_decrypt_block(const std::string& name,
+                                                   std::int64_t key_addr,
+                                                   std::int64_t spill_addr);
+
+/// Encrypt a buffer: processes `len_addr` words (rounded up to pairs,
+/// bounded by `max_words`) from `src` to `dst` by calling `block_fn`.
+[[nodiscard]] ir::Function make_xtea_buffer(const std::string& name,
+                                            const std::string& block_fn,
+                                            std::int64_t src,
+                                            std::int64_t dst,
+                                            std::int64_t len_addr,
+                                            std::int64_t max_words,
+                                            std::int64_t spill_addr);
+
+// -- neural network (fixed point, Q8) ---------------------------------------------
+
+/// 3x3 valid convolution + ReLU: input (w x h) at src, `channels` kernels of
+/// 9 signed Q8 weights at weights, output channel c at dst + c*(w-2)*(h-2).
+[[nodiscard]] ir::Function make_conv3x3_relu(const std::string& name,
+                                             std::int64_t src,
+                                             std::int64_t weights,
+                                             std::int64_t dst, std::int64_t w,
+                                             std::int64_t h,
+                                             std::int64_t channels);
+
+/// 2x2 max pooling per channel: (w x h) -> (w/2 x h/2), `channels` planes.
+[[nodiscard]] ir::Function make_maxpool2x2(const std::string& name,
+                                           std::int64_t src, std::int64_t dst,
+                                           std::int64_t w, std::int64_t h,
+                                           std::int64_t channels);
+
+/// Fully connected layer with optional ReLU: out[j] = relu(sum_i in[i] *
+/// W[j*in_n+i] + B[j]), weights Q8 (product shifted right by 8).
+[[nodiscard]] ir::Function make_fc(const std::string& name, std::int64_t src,
+                                   std::int64_t weights, std::int64_t bias,
+                                   std::int64_t dst, std::int64_t in_n,
+                                   std::int64_t out_n, bool relu);
+
+/// Argmax over `n` words at `src`; stores the winning index at `out` and
+/// returns it.
+[[nodiscard]] ir::Function make_argmax(const std::string& name,
+                                       std::int64_t src, std::int64_t n,
+                                       std::int64_t out);
+
+// -- telemetry ---------------------------------------------------------------------
+
+/// Radio/SpaceWire transmission cost model: CRC-accumulates and "sends"
+/// `len_addr` words (bounded) from `src`, spending a fixed per-word cost;
+/// stores the checksum at `out`.
+[[nodiscard]] ir::Function make_transmit(const std::string& name,
+                                         std::int64_t src,
+                                         std::int64_t len_addr,
+                                         std::int64_t max_words,
+                                         std::int64_t out);
+
+/// SpaceWire packetisation: splits `len_addr` payload words (bounded by
+/// `max_words`) from `src` into packets of `payload_words`, each prefixed
+/// with a 2-word header (destination logical address + sequence number) and
+/// suffixed with an additive checksum; writes the packet stream to `dst` and
+/// its total length to `out_len_addr`.
+[[nodiscard]] ir::Function make_packetize(const std::string& name,
+                                          std::int64_t src,
+                                          std::int64_t len_addr,
+                                          std::int64_t max_words,
+                                          std::int64_t dst,
+                                          std::int64_t payload_words,
+                                          std::int64_t out_len_addr);
+
+}  // namespace teamplay::usecases

@@ -1,0 +1,284 @@
+// Deeper coordination-layer tests: task-graph validation, annealing
+// behaviour, Gantt rendering, runtime error paths, version-choice lookups.
+#include <gtest/gtest.h>
+
+#include "coordination/glue.hpp"
+#include "coordination/runtime.hpp"
+#include "coordination/scheduler.hpp"
+#include "coordination/task_graph.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace teamplay;
+using coordination::Task;
+using coordination::TaskGraph;
+using coordination::VersionChoice;
+
+TaskGraph chain(int n) {
+    TaskGraph graph;
+    graph.app_name = "chain";
+    for (int i = 0; i < n; ++i) {
+        Task task;
+        task.name = "t" + std::to_string(i);
+        task.entry_fn = task.name;
+        if (i > 0) task.deps.push_back("t" + std::to_string(i - 1));
+        task.versions[""] = {{0.01, 0.001, 0.0, 0, "only"}};
+        graph.tasks.push_back(std::move(task));
+    }
+    return graph;
+}
+
+TEST(TaskGraphValidation, DetectsAllProblemClasses) {
+    TaskGraph graph;
+    Task a;
+    a.name = "a";
+    a.deps = {"missing", "a"};
+    // no versions
+    graph.tasks.push_back(a);
+    const auto errors = graph.validate();
+    bool unknown_dep = false;
+    bool self_dep = false;
+    bool no_versions = false;
+    for (const auto& error : errors) {
+        unknown_dep |= error.find("unknown task") != std::string::npos;
+        self_dep |= error.find("itself") != std::string::npos;
+        no_versions |= error.find("no versions") != std::string::npos;
+    }
+    EXPECT_TRUE(unknown_dep);
+    EXPECT_TRUE(self_dep);
+    EXPECT_TRUE(no_versions);
+}
+
+TEST(TaskGraphValidation, NonPositiveVersionTimesFlagged) {
+    TaskGraph graph;
+    Task a;
+    a.name = "a";
+    a.versions[""] = {{0.0, 0.001, 0.0, 0, "bad"}};
+    graph.tasks.push_back(a);
+    EXPECT_FALSE(graph.validate().empty());
+}
+
+TEST(TaskGraphValidation, CycleDetected) {
+    TaskGraph graph;
+    Task a;
+    a.name = "a";
+    a.deps = {"b"};
+    a.versions[""] = {{0.01, 0.0, 0.0, 0, ""}};
+    Task b;
+    b.name = "b";
+    b.deps = {"a"};
+    b.versions[""] = {{0.01, 0.0, 0.0, 0, ""}};
+    graph.tasks.push_back(a);
+    graph.tasks.push_back(b);
+    EXPECT_THROW((void)graph.topological_order(), std::runtime_error);
+    bool cycle = false;
+    for (const auto& error : graph.validate())
+        cycle |= error.find("cycle") != std::string::npos;
+    EXPECT_TRUE(cycle);
+}
+
+TEST(TaskGraphValidation, TopologicalOrderRespectsDeps) {
+    const auto graph = chain(6);
+    const auto order = graph.topological_order();
+    ASSERT_EQ(order.size(), 6u);
+    std::vector<std::size_t> position(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+    for (std::size_t i = 1; i < 6; ++i)
+        EXPECT_LT(position[i - 1], position[i]);
+}
+
+TEST(TaskGraph, VersionsForFallsBackToWildcard) {
+    Task task;
+    task.versions[""] = {{0.01, 0.0, 0.0, 0, "any"}};
+    task.versions["gpu"] = {{0.002, 0.0, 0.0, 0, "gpu"}};
+    EXPECT_EQ(task.versions_for("gpu")->front().note, "gpu");
+    EXPECT_EQ(task.versions_for("big")->front().note, "any");
+    EXPECT_TRUE(task.runs_on("anything"));
+    Task constrained;
+    constrained.versions["fpga"] = {{0.01, 0.0, 0.0, 0, ""}};
+    EXPECT_FALSE(constrained.runs_on("big"));
+    EXPECT_EQ(constrained.versions_for("big"), nullptr);
+}
+
+TEST(Scheduler, ChainSerialisesOnSingleCore) {
+    const auto nucleo = platform::nucleo_f091();
+    const coordination::Scheduler scheduler(nucleo);
+    const auto schedule = scheduler.schedule(chain(5), {});
+    EXPECT_NEAR(schedule.makespan_s, 0.05, 1e-12);
+    // Entries back-to-back.
+    double previous_finish = 0.0;
+    std::vector<const coordination::ScheduleEntry*> ordered;
+    for (const auto& entry : schedule.entries) ordered.push_back(&entry);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto* a, const auto* b) {
+                  return a->start_s < b->start_s;
+              });
+    for (const auto* entry : ordered) {
+        EXPECT_NEAR(entry->start_s, previous_finish, 1e-12);
+        previous_finish = entry->finish_s;
+    }
+}
+
+TEST(Scheduler, AnnealingNeverWorseThanGreedy) {
+    support::Rng rng(77);
+    const auto tx2 = platform::jetson_tx2();
+    const coordination::Scheduler scheduler(tx2);
+    // Random multi-version graph.
+    TaskGraph graph;
+    for (int i = 0; i < 10; ++i) {
+        Task task;
+        task.name = "t" + std::to_string(i);
+        if (i > 2) task.deps.push_back("t" + std::to_string(i - 3));
+        const double base = rng.uniform(0.002, 0.01);
+        task.versions[""] = {{base, base * 40.0, 0.0, 2, "fast"},
+                             {base * 2.0, base * 18.0, 0.0, 0, "frugal"}};
+        graph.tasks.push_back(std::move(task));
+    }
+    coordination::Scheduler::Options greedy;
+    greedy.deadline_s = 0.2;
+    greedy.anneal = false;
+    const auto schedule_greedy = scheduler.schedule(graph, greedy);
+    coordination::Scheduler::Options annealed = greedy;
+    annealed.anneal = true;
+    annealed.anneal_iterations = 300;
+    const auto schedule_annealed = scheduler.schedule(graph, annealed);
+
+    ASSERT_TRUE(schedule_greedy.feasible);
+    ASSERT_TRUE(schedule_annealed.feasible);
+    EXPECT_LE(schedule_annealed.platform_energy_j(tx2, 0.2),
+              schedule_greedy.platform_energy_j(tx2, 0.2) * (1.0 + 1e-9));
+}
+
+TEST(Scheduler, PowerManagedIdleBeatsBusyWait) {
+    const auto gr712 = platform::gr712rc();
+    const coordination::Scheduler scheduler(gr712);
+    const auto schedule = scheduler.schedule(chain(3), {});
+    const double managed =
+        schedule.platform_energy_j(gr712, 1.0, /*power_managed=*/true);
+    const double busy_wait =
+        schedule.platform_energy_j(gr712, 1.0, /*power_managed=*/false);
+    EXPECT_LT(managed, busy_wait);
+}
+
+TEST(Schedule, GanttRendersOneRowPerCore) {
+    const auto tx2 = platform::jetson_tx2();
+    const coordination::Scheduler scheduler(tx2);
+    const auto schedule = scheduler.schedule(chain(4), {});
+    const auto art = schedule.gantt(tx2, 40);
+    // One row per core plus the axis.
+    int rows = 0;
+    for (const char c : art)
+        if (c == '\n') ++rows;
+    EXPECT_EQ(rows, static_cast<int>(tx2.cores.size()) + 1);
+    EXPECT_NE(art.find('t'), std::string::npos);  // task marks present
+}
+
+TEST(Schedule, GanttHandlesEmptySchedule) {
+    coordination::Schedule empty;
+    EXPECT_EQ(empty.gantt(platform::nucleo_f091()), "(empty schedule)\n");
+}
+
+TEST(Schedule, EntryForLookup) {
+    const auto nucleo = platform::nucleo_f091();
+    const coordination::Scheduler scheduler(nucleo);
+    const auto schedule = scheduler.schedule(chain(2), {});
+    EXPECT_NE(schedule.entry_for("t0"), nullptr);
+    EXPECT_EQ(schedule.entry_for("zzz"), nullptr);
+}
+
+TEST(Runtime, UnknownTaskInScheduleThrows) {
+    coordination::Schedule schedule;
+    coordination::ScheduleEntry entry;
+    entry.task = "ghost";
+    entry.finish_s = 0.01;
+    schedule.entries.push_back(entry);
+    const TaskGraph graph = chain(1);
+    EXPECT_THROW(
+        (void)coordination::execute_schedule(graph, schedule, {}),
+        std::runtime_error);
+}
+
+TEST(Runtime, DependencyOrderViolationThrows) {
+    // Schedule listing the dependent before its producer, with start times
+    // that sort it first.
+    TaskGraph graph = chain(2);
+    coordination::Schedule schedule;
+    coordination::ScheduleEntry late;
+    late.task = "t1";  // depends on t0
+    late.start_s = 0.0;
+    late.finish_s = 0.01;
+    late.core = 0;
+    schedule.entries.push_back(late);
+    coordination::ScheduleEntry early;
+    early.task = "t0";
+    early.start_s = 0.02;
+    early.finish_s = 0.03;
+    early.core = 0;
+    schedule.entries.push_back(early);
+    EXPECT_THROW(
+        (void)coordination::execute_schedule(graph, schedule, {}),
+        std::runtime_error);
+}
+
+TEST(Runtime, SuccessRatioBoundsAndMonotonicity) {
+    const auto nucleo = platform::nucleo_f091();
+    const coordination::Scheduler scheduler(nucleo);
+    const auto graph = chain(3);
+    const auto schedule = scheduler.schedule(graph, {});
+
+    coordination::RuntimeOptions options;
+    options.jitter_sigma = 0.2;
+    options.deadline_s = schedule.makespan_s;  // zero headroom
+    const double tight =
+        coordination::deadline_success_ratio(graph, schedule, options, 100);
+    options.deadline_s = schedule.makespan_s * 10.0;
+    const double loose =
+        coordination::deadline_success_ratio(graph, schedule, options, 100);
+    EXPECT_GE(tight, 0.0);
+    EXPECT_LE(tight, 1.0);
+    EXPECT_GE(loose, tight);
+    EXPECT_NEAR(loose, 1.0, 1e-12);
+}
+
+TEST(Rta, SingleTaskAlwaysSchedulableUpToDeadline) {
+    for (double wcet = 0.001; wcet < 0.01; wcet += 0.002) {
+        const coordination::PeriodicTask task{"t", wcet, 0.01, 0.01};
+        const auto result = coordination::response_time_analysis({task});
+        EXPECT_TRUE(result.schedulable);
+        EXPECT_NEAR(result.response_times[0], wcet, 1e-12);
+    }
+}
+
+TEST(Rta, ExactResponseTimeKnownExample) {
+    // Classic example: C=(1,2,3), T=(4,10,20): R3 = 3+2*C1+1*C2 -> iterate.
+    std::vector<coordination::PeriodicTask> tasks = {
+        {"t1", 1.0, 4.0, 0.0},
+        {"t2", 2.0, 10.0, 0.0},
+        {"t3", 3.0, 20.0, 0.0},
+    };
+    const auto result = coordination::response_time_analysis(tasks);
+    ASSERT_TRUE(result.schedulable);
+    EXPECT_NEAR(result.response_times[0], 1.0, 1e-9);
+    EXPECT_NEAR(result.response_times[1], 3.0, 1e-9);
+    // R3: 3 + ceil(R/4)*1 + ceil(R/10)*2; fixpoint at R=10:
+    // 3 + 3*1 + 1*2 = 8 -> 3 + 2 + 2 = ... converges to 8? iterate:
+    // R0=3 -> 3+1+2=6 -> 3+2+2=7 -> 3+2+2=7. Fixpoint 7.
+    EXPECT_NEAR(result.response_times[2], 7.0, 1e-9);
+}
+
+TEST(Glue, SanitisesAwkwardIdentifiers) {
+    TaskGraph graph;
+    Task task;
+    task.name = "weird task-name";
+    task.entry_fn = "entry.with.dots";
+    task.versions[""] = {{0.01, 0.0, 0.0, 0, ""}};
+    graph.tasks.push_back(task);
+    const auto text = coordination::generate_glue(
+        graph, {}, platform::nucleo_f091(),
+        coordination::GlueStyle::kSequential);
+    EXPECT_NE(text.find("entry_with_dots();"), std::string::npos);
+    EXPECT_EQ(text.find("entry.with.dots();"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Sanity sweeps over the ISA cost models and platform descriptions: the
+// invariants every target must satisfy for the analyses and the simulator to
+// be meaningful.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "isa/target_model.hpp"
+#include "platform/platform.hpp"
+
+namespace {
+
+using namespace teamplay;
+
+std::vector<isa::TargetModel> all_models() {
+    return {isa::cortex_m0_model(),  isa::leon3_model(),
+            isa::cortex_a15_model(), isa::cortex_a57_model(),
+            isa::denver2_model(),    isa::gpu_sm_model(),
+            isa::pill_fpga_model()};
+}
+
+std::vector<platform::Platform> all_platforms() {
+    return {platform::nucleo_f091(), platform::camera_pill_board(),
+            platform::gr712rc(),     platform::apalis_tk1(),
+            platform::jetson_tx2(),  platform::jetson_nano()};
+}
+
+TEST(IsaModels, AllCostsPositive) {
+    for (const auto& model : all_models()) {
+        SCOPED_TRACE(model.name);
+        for (int c = 0; c < isa::kNumInstrClasses; ++c) {
+            const auto cls = static_cast<isa::InstrClass>(c);
+            EXPECT_GT(model.cycles_of(cls), 0.0)
+                << isa::instr_class_name(cls);
+            EXPECT_GT(model.energy_of(cls), 0.0)
+                << isa::instr_class_name(cls);
+        }
+        EXPECT_GT(model.branch_cycles, 0.0);
+        EXPECT_GT(model.loop_iter_cycles, 0.0);
+        EXPECT_GT(model.call_cycles, 0.0);
+        EXPECT_GT(model.nominal_voltage, 0.0);
+        EXPECT_GE(model.data_alpha_pj_per_bit, 0.0);
+    }
+}
+
+TEST(IsaModels, PredictableCoresHaveNoStochasticTiming) {
+    for (const auto& model : all_models()) {
+        if (!model.predictable) continue;
+        SCOPED_TRACE(model.name);
+        EXPECT_EQ(model.cache_miss_prob, 0.0);
+        EXPECT_EQ(model.cache_miss_penalty, 0.0);
+        EXPECT_EQ(model.timing_jitter_sigma, 0.0);
+    }
+}
+
+TEST(IsaModels, ComplexCoresCarryNoiseParameters) {
+    for (const auto& model : all_models()) {
+        if (model.predictable) continue;
+        SCOPED_TRACE(model.name);
+        EXPECT_GT(model.timing_jitter_sigma, 0.0);
+        EXPECT_GT(model.cache_miss_prob, 0.0);
+    }
+}
+
+TEST(IsaModels, DivIsTheSlowestClassOnInOrderCores) {
+    for (const auto& model :
+         {isa::cortex_m0_model(), isa::leon3_model()}) {
+        SCOPED_TRACE(model.name);
+        const double div_cycles = model.cycles_of(isa::InstrClass::kDiv);
+        for (int c = 0; c < isa::kNumInstrClasses; ++c) {
+            const auto cls = static_cast<isa::InstrClass>(c);
+            if (cls == isa::InstrClass::kDiv) continue;
+            EXPECT_LT(model.cycles_of(cls), div_cycles);
+        }
+    }
+}
+
+TEST(IsaModels, EveryOpcodeMapsToAClass) {
+    for (int op = 0; op < ir::kNumOpcodes; ++op) {
+        const auto cls = isa::instr_class(static_cast<ir::Opcode>(op));
+        EXPECT_GE(static_cast<int>(cls), 0);
+        EXPECT_LT(static_cast<int>(cls), isa::kNumInstrClasses);
+    }
+    EXPECT_EQ(isa::instr_class(ir::Opcode::kMul), isa::InstrClass::kMul);
+    EXPECT_EQ(isa::instr_class(ir::Opcode::kRem), isa::InstrClass::kDiv);
+    EXPECT_EQ(isa::instr_class(ir::Opcode::kLoad), isa::InstrClass::kLoad);
+}
+
+TEST(Platforms, OppTablesSortedAndConsistent) {
+    for (const auto& p : all_platforms()) {
+        SCOPED_TRACE(p.name);
+        EXPECT_FALSE(p.cores.empty());
+        EXPECT_GT(p.base_power_w, 0.0);
+        for (const auto& core : p.cores) {
+            SCOPED_TRACE(core.name);
+            ASSERT_FALSE(core.opps.empty());
+            for (std::size_t i = 1; i < core.opps.size(); ++i) {
+                // Frequency, voltage and leakage all rise together.
+                EXPECT_GT(core.opps[i].freq_hz, core.opps[i - 1].freq_hz);
+                EXPECT_GE(core.opps[i].voltage, core.opps[i - 1].voltage);
+                EXPECT_GE(core.opps[i].static_power_w,
+                          core.opps[i - 1].static_power_w);
+            }
+            for (const auto& opp : core.opps) {
+                EXPECT_GT(opp.freq_hz, 0.0);
+                EXPECT_GT(opp.voltage, 0.0);
+                EXPECT_GT(opp.static_power_w, 0.0);
+            }
+            EXPECT_EQ(core.max_opp(), core.opps.size() - 1);
+        }
+    }
+}
+
+TEST(Platforms, EnergyScaleIsMonotoneInVoltage) {
+    for (const auto& p : all_platforms()) {
+        for (const auto& core : p.cores) {
+            SCOPED_TRACE(p.name + "/" + core.name);
+            double previous = 0.0;
+            for (const auto& opp : core.opps) {
+                const double scale = core.energy_scale(opp);
+                EXPECT_GT(scale, 0.0);
+                EXPECT_GE(scale, previous);
+                previous = scale;
+            }
+        }
+    }
+}
+
+TEST(Platforms, FindCoreAndClassLookups) {
+    const auto tk1 = platform::apalis_tk1();
+    EXPECT_NE(tk1.find_core("a15-0"), nullptr);
+    EXPECT_NE(tk1.find_core("gk20a"), nullptr);
+    EXPECT_EQ(tk1.find_core("nonexistent"), nullptr);
+    EXPECT_EQ(tk1.cores_of_class("big").size(), 4u);
+    EXPECT_EQ(tk1.cores_of_class("gpu").size(), 1u);
+}
+
+TEST(Platforms, PillFpgaIsDistinctClass) {
+    const auto pill = platform::camera_pill_board();
+    ASSERT_EQ(pill.cores.size(), 2u);
+    EXPECT_EQ(pill.cores_of_class("fpga").size(), 1u);
+    EXPECT_EQ(pill.cores_of_class("mcu").size(), 1u);
+    // The FPGA co-processor is dramatically more energy-efficient per op.
+    const auto& m0 = pill.cores[0].model;
+    const auto& fpga = pill.cores[1].model;
+    EXPECT_LT(fpga.energy_of(isa::InstrClass::kAlu),
+              m0.energy_of(isa::InstrClass::kAlu) / 2.0);
+}
+
+TEST(Platforms, ClassNamesCoverAllClasses) {
+    for (int c = 0; c < isa::kNumInstrClasses; ++c) {
+        const auto name =
+            isa::instr_class_name(static_cast<isa::InstrClass>(c));
+        EXPECT_FALSE(name.empty());
+        EXPECT_NE(name, "?");
+    }
+}
+
+}  // namespace

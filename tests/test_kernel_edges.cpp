@@ -1,0 +1,240 @@
+// Edge cases of the use-case kernels: empty/odd-length buffers, saturated
+// runs, border handling, cross-platform consistency of results.
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+#include "usecases/apps.hpp"
+#include "usecases/kernels.hpp"
+
+namespace {
+
+using namespace teamplay;
+using namespace teamplay::usecases;
+
+const platform::Platform& nucleo() {
+    static const platform::Platform p = platform::nucleo_f091();
+    return p;
+}
+
+TEST(XteaBuffer, OddLengthRoundsUpToBlocks) {
+    const auto app = make_camera_pill_app();
+    sim::Machine m(app.program, app.platform.cores[0], 0);
+    stage_xtea_key(m, {9, 8, 7, 6});
+    // 5 words -> 3 blocks (the 6th word is read from the buffer padding).
+    m.poke(pill::kLen, 5);
+    for (int i = 0; i < 6; ++i)
+        m.poke(static_cast<std::size_t>(pill::kComp) + i, 100 + i);
+    (void)m.run("pill_encrypt", {});
+    // All six words of the 3 blocks written.
+    for (int i = 0; i < 6; ++i)
+        EXPECT_NE(m.peek(static_cast<std::size_t>(pill::kEnc) + i), 0)
+            << "word " << i;
+}
+
+TEST(XteaBuffer, ZeroLengthEncryptsNothing) {
+    const auto app = make_camera_pill_app();
+    sim::Machine m(app.program, app.platform.cores[0], 0);
+    stage_xtea_key(m, {1, 2, 3, 4});
+    m.poke(pill::kLen, 0);
+    const auto run = m.run("pill_encrypt", {});
+    EXPECT_EQ(run.ret_value, 0);
+    EXPECT_EQ(m.peek(pill::kEnc), 0);
+}
+
+TEST(XteaBlocks, DifferentKeysGiveDifferentCiphertext) {
+    const auto app = make_camera_pill_app();
+    sim::Machine m(app.program, app.platform.cores[0], 0);
+    stage_xtea_key(m, {1, 2, 3, 4});
+    const auto c1 =
+        m.run("pill_xtea_block", std::vector<ir::Word>{10, 20}).ret_value;
+    stage_xtea_key(m, {1, 2, 3, 5});
+    const auto c2 =
+        m.run("pill_xtea_block", std::vector<ir::Word>{10, 20}).ret_value;
+    EXPECT_NE(c1, c2);
+}
+
+TEST(RleEdge, SingleElementBuffer) {
+    ir::Program program;
+    program.memory_words = 256;
+    program.add(make_rle_compress("comp", 10, 50, 1, 4));
+    sim::Machine m(program, nucleo().cores[0], 0);
+    m.poke(10, 42);
+    EXPECT_EQ(m.run("comp", {}).ret_value, 2);
+    EXPECT_EQ(m.peek(50), 1);   // run of one
+    EXPECT_EQ(m.peek(51), 42);  // value
+}
+
+TEST(RleEdge, AlternatingWorstCaseDoublesSize) {
+    constexpr std::int64_t kN = 32;
+    ir::Program program;
+    program.memory_words = 512;
+    program.add(make_rle_compress("comp", 10, 100, kN, 4));
+    program.add(make_rle_decompress("decomp", 100, 300, 4, kN));
+    sim::Machine m(program, nucleo().cores[0], 0);
+    std::vector<ir::Word> data;
+    for (std::int64_t i = 0; i < kN; ++i) data.push_back(i % 2);
+    m.poke_span(10, data);
+    EXPECT_EQ(m.run("comp", {}).ret_value, 2 * kN);  // no compression
+    EXPECT_EQ(m.run("decomp", {}).ret_value, kN);
+    EXPECT_EQ(m.peek_span(300, kN), data);
+}
+
+TEST(CrcEdge, EmptyBufferYieldsInvertedInit) {
+    ir::Program program;
+    program.memory_words = 128;
+    program.add(make_crc32("crc", 10, 4, 64, 20));
+    sim::Machine m(program, nucleo().cores[0], 0);
+    m.poke(4, 0);  // zero length
+    // CRC of nothing: 0xFFFFFFFF ^ 0xFFFFFFFF = 0.
+    EXPECT_EQ(m.run("crc", {}).ret_value, 0);
+}
+
+TEST(CrcEdge, SensitiveToSingleBitFlips) {
+    ir::Program program;
+    program.memory_words = 128;
+    program.add(make_crc32("crc", 10, 4, 64, 20));
+    sim::Machine m(program, nucleo().cores[0], 0);
+    m.poke(4, 4);
+    m.poke_span(10, std::vector<ir::Word>{1, 2, 3, 4});
+    const auto c1 = m.run("crc", {}).ret_value;
+    m.poke(12, 3 ^ 1);  // flip one bit
+    const auto c2 = m.run("crc", {}).ret_value;
+    EXPECT_NE(c1, c2);
+}
+
+TEST(SobelEdge, UniformImageHasNoDetections) {
+    ir::Program program;
+    program.memory_words = 4096;
+    program.add(make_sobel_detect("det", 100, 1200, 16, 12, 8, 50));
+    sim::Machine m(program, nucleo().cores[0], 0);
+    for (int i = 0; i < 16 * 12; ++i) m.poke(100 + i, 77);
+    EXPECT_EQ(m.run("det", {}).ret_value, 0);
+}
+
+TEST(SobelEdge, StepEdgeDetected) {
+    ir::Program program;
+    program.memory_words = 4096;
+    program.add(make_sobel_detect("det", 100, 1200, 16, 12, 8, 100));
+    sim::Machine m(program, nucleo().cores[0], 0);
+    for (int y = 0; y < 12; ++y)
+        for (int x = 0; x < 16; ++x)
+            m.poke(static_cast<std::size_t>(100 + y * 16 + x),
+                   x < 8 ? 0 : 255);
+    const auto hits = m.run("det", {}).ret_value;
+    EXPECT_GT(hits, 5);  // the vertical edge column
+    // Detections concentrated around x=7..8.
+    for (int y = 1; y < 11; ++y) {
+        EXPECT_EQ(m.peek(static_cast<std::size_t>(1200 + y * 16 + 2)), 0);
+        const auto near_edge =
+            m.peek(static_cast<std::size_t>(1200 + y * 16 + 7)) +
+            m.peek(static_cast<std::size_t>(1200 + y * 16 + 8));
+        EXPECT_GE(near_edge, 1);
+    }
+}
+
+TEST(CentroidEdge, EmptyMapFallsBackGracefully) {
+    ir::Program program;
+    program.memory_words = 2048;
+    program.add(make_centroid("cen", 100, 8, 8, 20));
+    sim::Machine m(program, nucleo().cores[0], 0);
+    EXPECT_EQ(m.run("cen", {}).ret_value, 0);  // zero hits, no crash
+    EXPECT_EQ(m.peek(20), 0);
+    EXPECT_EQ(m.peek(21), 0);
+}
+
+TEST(CentroidEdge, SinglePointExactlyLocated) {
+    ir::Program program;
+    program.memory_words = 2048;
+    program.add(make_centroid("cen", 100, 8, 8, 20));
+    sim::Machine m(program, nucleo().cores[0], 0);
+    m.poke(100 + 3 * 8 + 5, 1);  // (x=5, y=3)
+    EXPECT_EQ(m.run("cen", {}).ret_value, 1);
+    EXPECT_EQ(m.peek(20), 5 * 256 / 8);
+    EXPECT_EQ(m.peek(21), 3 * 256 / 8);
+}
+
+TEST(PacketizeEdge, ExactMultipleOfPayloadHasNoPadding) {
+    ir::Program program;
+    program.memory_words = 2048;
+    program.add(make_packetize("pkt", 100, 4, 64, 500, 8, 6));
+    sim::Machine m(program, nucleo().cores[0], 0);
+    m.poke(4, 16);  // exactly two packets of 8
+    for (int i = 0; i < 16; ++i) m.poke(100 + i, i + 1);
+    const auto total = m.run("pkt", {}).ret_value;
+    EXPECT_EQ(total, 2 * (8 + 3));
+    // Second packet's payload carries words 9..16.
+    EXPECT_EQ(m.peek(500 + 11 + 2), 9);
+}
+
+TEST(Capture, FramesEvolveButStayInByteRange) {
+    ir::Program program;
+    program.memory_words = 4096;
+    program.add(make_capture("cap", 100, 16, 8, 4));
+    sim::Machine m(program, nucleo().cores[0], 0);
+    m.poke(4, 999);
+    (void)m.run("cap", {});
+    const auto frame1 = m.peek_span(100, 16 * 8);
+    (void)m.run("cap", {});
+    const auto frame2 = m.peek_span(100, 16 * 8);
+    EXPECT_NE(frame1, frame2);  // sensor state advanced
+    for (const auto px : frame1) {
+        EXPECT_GE(px, 0);
+        EXPECT_LE(px, 255);
+    }
+}
+
+TEST(UavPlatformVariants, PipelineRunsOnAllThreeBoards) {
+    for (const auto* name : {"apalis-tk1", "jetson-tx2", "jetson-nano"}) {
+        const auto app = make_uav_app(name);
+        EXPECT_EQ(app.platform.name, name);
+        sim::Machine m(app.program, app.platform.cores[0], 0, 3);
+        m.poke(uav::kState, 1);
+        for (const auto* task :
+             {"uav_capture", "uav_resize", "uav_detect", "uav_track",
+              "uav_encode", "uav_downlink"})
+            EXPECT_NO_THROW((void)m.run(task, {})) << name << "/" << task;
+    }
+}
+
+TEST(Maxpool, SelectsMaximumPerWindow) {
+    ir::Program program;
+    program.memory_words = 1024;
+    program.add(make_maxpool2x2("pool", 100, 300, 4, 4, 1));
+    sim::Machine m(program, nucleo().cores[0], 0);
+    const std::vector<ir::Word> input = {1, 2, 5, 6,   3, 4, 7, 8,
+                                         9, 10, 13, 14, 11, 12, 15, 16};
+    m.poke_span(100, input);
+    (void)m.run("pool", {});
+    EXPECT_EQ(m.peek(300), 4);
+    EXPECT_EQ(m.peek(301), 8);
+    EXPECT_EQ(m.peek(302), 12);
+    EXPECT_EQ(m.peek(303), 16);
+}
+
+TEST(Fc, ComputesQ8MatVecWithBias) {
+    ir::Program program;
+    program.memory_words = 1024;
+    // 2 inputs -> 1 output, no relu.
+    program.add(make_fc("fc", 100, 200, 300, 400, 2, 1, false));
+    sim::Machine m(program, nucleo().cores[0], 0);
+    m.poke(100, 10);
+    m.poke(101, 20);
+    m.poke(200, 256);  // weight 1.0 in Q8
+    m.poke(201, 512);  // weight 2.0
+    m.poke(300, 5);    // bias
+    (void)m.run("fc", {});
+    EXPECT_EQ(m.peek(400), (10 * 256 + 20 * 512) / 256 + 5);
+}
+
+TEST(Argmax, PicksFirstOfEqualMaxima) {
+    ir::Program program;
+    program.memory_words = 256;
+    program.add(make_argmax("am", 100, 4, 50));
+    sim::Machine m(program, nucleo().cores[0], 0);
+    m.poke_span(100, std::vector<ir::Word>{3, 9, 9, 1});
+    EXPECT_EQ(m.run("am", {}).ret_value, 1);
+    m.poke_span(100, std::vector<ir::Word>{-5, -2, -9, -2});
+    EXPECT_EQ(m.run("am", {}).ret_value, 1);
+}
+
+}  // namespace

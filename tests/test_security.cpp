@@ -1,0 +1,329 @@
+// Unit tests for the SecurityAnalyser (taint + measured leakage) and the
+// SecurityOptimiser transforms (ladderisation, balancing).  The central
+// properties: transforms preserve semantics (differential execution) and
+// actually remove the measured side channels.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "security/leakage.hpp"
+#include "security/taint.hpp"
+#include "security/transforms.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace teamplay;
+
+ir::Program single(ir::Function fn) {
+    ir::Program program;
+    program.add(std::move(fn));
+    return program;
+}
+
+const platform::Platform& nucleo() {
+    static const platform::Platform p = platform::nucleo_f091();
+    return p;
+}
+
+/// A deliberately leaky kernel: square-and-multiply style loop where an
+/// expensive operation runs only when the current secret bit is set.
+ir::Program leaky_modexp(int bits) {
+    ir::FunctionBuilder b("modexp", 1);
+    const auto key = b.secret(b.param(0));
+    const auto acc_addr = b.imm(200);
+    b.store(acc_addr, b.imm(1));
+    const auto modulus = b.imm(65521);
+    const auto i = b.loop_begin(bits);
+    const auto bit = b.band(b.shr(key, i), b.imm(1));
+    const auto acc0 = b.load(acc_addr);
+    const auto sq = b.rem(b.mul(acc0, acc0), modulus);
+    b.store(acc_addr, sq);
+    b.if_begin(bit);
+    {
+        const auto acc1 = b.load(acc_addr);
+        const auto mult = b.rem(b.mul(acc1, b.imm(7)), modulus);
+        b.store(acc_addr, mult);
+    }
+    b.if_end();
+    b.loop_end();
+    b.ret(b.load(acc_addr));
+    return single(b.build());
+}
+
+TEST(Taint, SecretSourcePropagatesToBranch) {
+    const auto program = leaky_modexp(8);
+    const auto report =
+        security::analyze_taint(program, *program.find("modexp"));
+    EXPECT_GE(report.secret_sources, 1);
+    EXPECT_GE(report.secret_branches, 1);
+    EXPECT_TRUE(report.leaky());
+    EXPECT_GT(report.leakage_proxy(), 0.0);
+}
+
+TEST(Taint, CleanFunctionHasNoLeaks) {
+    ir::FunctionBuilder b("clean", 2);
+    const auto c = b.cmp_lt(b.param(0), b.param(1));
+    b.if_begin(c);
+    (void)b.add(b.param(0), b.param(1));
+    b.if_end();
+    const auto program = single(b.build());
+    const auto report =
+        security::analyze_taint(program, *program.find("clean"));
+    EXPECT_FALSE(report.leaky());
+    EXPECT_EQ(report.leakage_proxy(), 0.0);
+}
+
+TEST(Taint, TaintedParamsTreatedAsSecret) {
+    ir::FunctionBuilder b("f", 1);
+    const auto c = b.cmp_eq(b.param(0), b.imm(0));
+    b.if_begin(c);
+    (void)b.imm(1);
+    b.if_end();
+    const auto program = single(b.build());
+    const auto clean = security::analyze_taint(program, *program.find("f"));
+    EXPECT_EQ(clean.secret_branches, 0);
+    const auto tainted =
+        security::analyze_taint(program, *program.find("f"), {0});
+    EXPECT_EQ(tainted.secret_branches, 1);
+}
+
+TEST(Taint, FlowsThroughCalls) {
+    ir::FunctionBuilder leaf("leaf", 1);
+    leaf.ret(leaf.add_imm(leaf.param(0), 1));
+    ir::FunctionBuilder main_fn("main", 1);
+    const auto key = main_fn.secret(main_fn.param(0));
+    const auto out = main_fn.call("leaf", {key});
+    const auto c = main_fn.cmp_gt(out, main_fn.imm(10));
+    main_fn.if_begin(c);
+    (void)main_fn.imm(1);
+    main_fn.if_end();
+    ir::Program program;
+    program.add(leaf.build());
+    program.add(main_fn.build());
+    const auto report =
+        security::analyze_taint(program, *program.find("main"));
+    EXPECT_EQ(report.secret_branches, 1);
+}
+
+TEST(Taint, SecretAddressFlaggedAsMemoryLeak) {
+    ir::FunctionBuilder b("sbox", 1);
+    const auto key = b.secret(b.param(0));
+    const auto addr = b.and_imm(key, 255);
+    (void)b.load(addr);
+    const auto program = single(b.build());
+    const auto report = security::analyze_taint(program, *program.find("sbox"));
+    EXPECT_GE(report.secret_memory_ops, 1);
+    EXPECT_TRUE(report.leaky());
+}
+
+TEST(Taint, LoopCarriedTaintReachesFixpoint) {
+    // Taint enters the accumulator only via the loop body; a branch on the
+    // accumulator after the loop must be flagged.
+    ir::FunctionBuilder b("f", 1);
+    const auto key = b.secret(b.param(0));
+    const auto addr = b.imm(50);
+    b.store(addr, b.imm(0));
+    const auto i = b.loop_begin(4);
+    const auto acc = b.load(addr);
+    b.store(addr, b.add(acc, b.band(key, i)));
+    b.loop_end();
+    const auto final_acc = b.load(addr);
+    const auto c = b.cmp_gt(final_acc, b.imm(2));
+    b.if_begin(c);
+    (void)b.imm(1);
+    b.if_end();
+    const auto program = single(b.build());
+    const auto report = security::analyze_taint(program, *program.find("f"));
+    EXPECT_GE(report.secret_branches, 1);
+}
+
+// Measured leakage ------------------------------------------------------------
+
+security::SecretRunner make_runner(const ir::Program& program,
+                                   const std::string& fn) {
+    return [&program, fn](ir::Word secret) {
+        sim::Machine machine(program, nucleo().cores[0], 0);
+        return machine.run(fn, std::vector<ir::Word>{secret},
+                           /*record_trace=*/true);
+    };
+}
+
+TEST(Leakage, LeakyKernelShowsTimingAndPowerLeakage) {
+    const auto program = leaky_modexp(8);
+    const auto report =
+        security::measure_leakage(make_runner(program, "modexp"), 120, 8, 5);
+    EXPECT_GT(report.timing_spread_cycles, 1.0);
+    EXPECT_GT(report.timing_mi_bits, 0.02);
+    EXPECT_TRUE(report.leaky());
+}
+
+TEST(Leakage, ConstantFlowKernelShowsNoTimingLeakage) {
+    // Branch-free equivalent via select.
+    ir::FunctionBuilder b("ct", 1);
+    const auto key = b.secret(b.param(0));
+    auto acc = b.imm(1);
+    const auto modulus = b.imm(65521);
+    const auto i = b.loop_begin(8);
+    const auto bit = b.band(b.shr(key, i), b.imm(1));
+    const auto sq = b.rem(b.mul(acc, acc), modulus);
+    const auto mult = b.rem(b.mul(sq, b.imm(7)), modulus);
+    acc = b.select(bit, mult, sq);
+    b.loop_end();
+    b.ret(acc);
+    const auto program = single(b.build());
+
+    const auto report =
+        security::measure_leakage(make_runner(program, "ct"), 100, 8, 7);
+    EXPECT_EQ(report.timing_spread_cycles, 0.0);
+    EXPECT_LT(report.timing_mi_bits, 0.05);
+}
+
+// Transforms ------------------------------------------------------------------
+
+/// Differential check: same return value for every input in [0, 2^bits).
+void expect_same_semantics(const ir::Program& before,
+                           const ir::Program& after, const std::string& fn,
+                           int bits) {
+    sim::Machine m_before(before, nucleo().cores[0], 0);
+    sim::Machine m_after(after, nucleo().cores[0], 0);
+    for (ir::Word secret = 0; secret < (1 << bits); ++secret) {
+        m_before.clear_memory();
+        m_after.clear_memory();
+        const auto r0 = m_before.run(fn, std::vector<ir::Word>{secret});
+        const auto r1 = m_after.run(fn, std::vector<ir::Word>{secret});
+        ASSERT_EQ(r0.ret_value, r1.ret_value) << "diverged at secret "
+                                              << secret;
+    }
+}
+
+/// Pure-branch leaky kernel (no memory ops in the arms -> ladderisable).
+ir::Program pure_branch_kernel() {
+    ir::FunctionBuilder b("k", 1);
+    const auto key = b.secret(b.param(0));
+    auto acc = b.imm(1);
+    const auto i = b.loop_begin(6);
+    const auto bit = b.band(b.shr(key, i), b.imm(1));
+    const auto doubled = b.add(acc, acc);
+    b.if_begin(bit);
+    acc = b.add(doubled, b.imm(3));
+    b.if_else();
+    acc = b.mov(doubled);
+    b.if_end();
+    b.loop_end();
+    b.ret(acc);
+    return single(b.build());
+}
+
+TEST(Ladderise, RemovesSecretBranches) {
+    auto program = pure_branch_kernel();
+    auto& fn = *program.find("k");
+    const auto stats = security::ladderise(program, fn);
+    EXPECT_EQ(stats.rewritten, 1);
+    EXPECT_EQ(stats.skipped, 0);
+    const auto report = security::analyze_taint(program, fn);
+    EXPECT_EQ(report.secret_branches, 0);
+}
+
+TEST(Ladderise, PreservesSemantics) {
+    const auto before = pure_branch_kernel();
+    auto after = pure_branch_kernel();
+    security::ladderise(after, *after.find("k"));
+    expect_same_semantics(before, after, "k", 6);
+}
+
+TEST(Ladderise, EliminatesMeasuredTimingLeakage) {
+    auto program = pure_branch_kernel();
+    const auto before =
+        security::measure_leakage(make_runner(program, "k"), 100, 6, 11);
+    EXPECT_GT(before.timing_spread_cycles, 0.0);
+
+    security::ladderise(program, *program.find("k"));
+    const auto after =
+        security::measure_leakage(make_runner(program, "k"), 100, 6, 11);
+    EXPECT_EQ(after.timing_spread_cycles, 0.0);
+    EXPECT_LT(after.timing_mi_bits, 0.05);
+}
+
+TEST(Ladderise, SkipsBranchesWithMemoryOps) {
+    auto program = leaky_modexp(4);  // arms contain loads/stores
+    auto& fn = *program.find("modexp");
+    const auto stats = security::ladderise(program, fn);
+    EXPECT_EQ(stats.rewritten, 0);
+    EXPECT_GE(stats.skipped, 1);
+}
+
+TEST(Ladderise, ElseLessBranchHandled) {
+    ir::FunctionBuilder b("k", 1);
+    const auto key = b.secret(b.param(0));
+    auto acc = b.imm(5);
+    const auto bit = b.band(key, b.imm(1));
+    b.if_begin(bit);
+    acc = b.mul(acc, b.imm(3));
+    b.if_end();
+    b.ret(acc);
+    auto program = single(b.build());
+    auto transformed = program;  // deep copy via Function copy semantics
+    const auto stats =
+        security::ladderise(transformed, *transformed.find("k"));
+    EXPECT_EQ(stats.rewritten, 1);
+    expect_same_semantics(program, transformed, "k", 2);
+}
+
+TEST(Balance, EqualisesTimingOfArms) {
+    const auto before = pure_branch_kernel();
+    auto after = pure_branch_kernel();
+    const auto stats =
+        security::balance_secret_branches(after, *after.find("k"));
+    EXPECT_EQ(stats.rewritten, 1);
+
+    // Timing leakage collapses: both arms now have equal class profiles.
+    const auto report =
+        security::measure_leakage(make_runner(after, "k"), 80, 6, 13);
+    EXPECT_EQ(report.timing_spread_cycles, 0.0);
+}
+
+TEST(Balance, PreservesSemantics) {
+    const auto before = pure_branch_kernel();
+    auto after = pure_branch_kernel();
+    security::balance_secret_branches(after, *after.find("k"));
+    expect_same_semantics(before, after, "k", 6);
+}
+
+TEST(Balance, HandlesArmsWithMemoryOps) {
+    auto program = leaky_modexp(4);
+    auto& fn = *program.find("modexp");
+    const auto stats = security::balance_secret_branches(program, fn);
+    EXPECT_EQ(stats.rewritten, 1);
+
+    // Semantics preserved.
+    const auto original = leaky_modexp(4);
+    expect_same_semantics(original, program, "modexp", 4);
+
+    // Timing flat.
+    const auto report =
+        security::measure_leakage(make_runner(program, "modexp"), 80, 4, 17);
+    EXPECT_EQ(report.timing_spread_cycles, 0.0);
+}
+
+TEST(Balance, BothCountermeasuresRemoveTimingChannel) {
+    // Balancing and ladderisation both flatten the timing channel.  Neither
+    // removes first-order power leakage under a Hamming-weight model (the
+    // merged/selected values still carry secret-dependent weights) — that is
+    // the realistic picture the security bench reports; masking would be the
+    // next countermeasure up, out of scope for the paper's toolchain.
+    auto balanced = pure_branch_kernel();
+    security::balance_secret_branches(balanced, *balanced.find("k"));
+    auto laddered = pure_branch_kernel();
+    security::ladderise(laddered, *laddered.find("k"));
+
+    const auto rb =
+        security::measure_leakage(make_runner(balanced, "k"), 200, 6, 19);
+    const auto rl =
+        security::measure_leakage(make_runner(laddered, "k"), 200, 6, 19);
+    EXPECT_EQ(rb.timing_spread_cycles, 0.0);
+    EXPECT_EQ(rl.timing_spread_cycles, 0.0);
+    EXPECT_LT(rb.timing_mi_bits, 0.05);
+    EXPECT_LT(rl.timing_mi_bits, 0.05);
+}
+
+}  // namespace

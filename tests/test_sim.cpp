@@ -1,0 +1,292 @@
+// Unit tests for the machine simulator: functional semantics, cost charging,
+// determinism on predictable cores, stochasticity on complex cores.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "platform/platform.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace teamplay;
+
+ir::Program make_single(ir::Function fn) {
+    ir::Program program;
+    program.add(std::move(fn));
+    return program;
+}
+
+const platform::Platform& nucleo() {
+    static const platform::Platform p = platform::nucleo_f091();
+    return p;
+}
+
+TEST(Machine, ArithmeticSemantics) {
+    ir::FunctionBuilder b("f", 2);
+    const auto sum = b.add(b.param(0), b.param(1));
+    const auto prod = b.mul(sum, b.param(0));
+    b.ret(prod);
+    const auto program = make_single(b.build());
+
+    sim::Machine m(program, nucleo().cores[0], 2);
+    const auto r = m.run("f", std::vector<ir::Word>{3, 4});
+    EXPECT_EQ(r.ret_value, 21);  // (3+4)*3
+}
+
+TEST(Machine, DivisionByZeroYieldsZero) {
+    ir::FunctionBuilder b("f", 2);
+    b.ret(b.div(b.param(0), b.param(1)));
+    const auto program = make_single(b.build());
+    sim::Machine m(program, nucleo().cores[0], 0);
+    EXPECT_EQ(m.run("f", std::vector<ir::Word>{10, 0}).ret_value, 0);
+}
+
+TEST(Machine, ShiftMasksTo63Bits) {
+    ir::FunctionBuilder b("f", 2);
+    b.ret(b.shl(b.param(0), b.param(1)));
+    const auto program = make_single(b.build());
+    sim::Machine m(program, nucleo().cores[0], 0);
+    EXPECT_EQ(m.run("f", std::vector<ir::Word>{1, 64}).ret_value, 1);
+    EXPECT_EQ(m.run("f", std::vector<ir::Word>{1, 3}).ret_value, 8);
+}
+
+TEST(Machine, SelectSemantics) {
+    ir::FunctionBuilder b("f", 3);
+    b.ret(b.select(b.param(0), b.param(1), b.param(2)));
+    const auto program = make_single(b.build());
+    sim::Machine m(program, nucleo().cores[0], 0);
+    EXPECT_EQ(m.run("f", std::vector<ir::Word>{1, 10, 20}).ret_value, 10);
+    EXPECT_EQ(m.run("f", std::vector<ir::Word>{0, 10, 20}).ret_value, 20);
+}
+
+TEST(Machine, LoopComputesSum) {
+    ir::FunctionBuilder b("f", 0);
+    const auto acc_addr = b.imm(100);
+    const auto i = b.loop_begin(10);
+    const auto acc = b.load(acc_addr);
+    b.store(acc_addr, b.add(acc, i));
+    b.loop_end();
+    b.ret(b.load(acc_addr));
+    const auto program = make_single(b.build());
+    sim::Machine m(program, nucleo().cores[0], 0);
+    EXPECT_EQ(m.run("f", {}).ret_value, 45);  // 0+1+...+9
+}
+
+TEST(Machine, DynamicLoopReadsTripFromRegister) {
+    ir::FunctionBuilder b("f", 1);
+    const auto acc_addr = b.imm(0);
+    const auto i = b.dynamic_loop_begin(b.param(0), 100);
+    const auto acc = b.load(acc_addr);
+    b.store(acc_addr, b.add(acc, b.add_imm(i, 1)));
+    b.loop_end();
+    b.ret(b.load(acc_addr));
+    const auto program = make_single(b.build());
+    sim::Machine m(program, nucleo().cores[0], 0);
+    EXPECT_EQ(m.run("f", std::vector<ir::Word>{4}).ret_value, 10);  // 1+2+3+4
+}
+
+TEST(Machine, DynamicLoopAboveBoundThrows) {
+    ir::FunctionBuilder b("f", 1);
+    (void)b.dynamic_loop_begin(b.param(0), 8);
+    b.loop_end();
+    const auto program = make_single(b.build());
+    sim::Machine m(program, nucleo().cores[0], 0);
+    EXPECT_THROW(m.run("f", std::vector<ir::Word>{9}), std::runtime_error);
+}
+
+TEST(Machine, IfTakesCorrectBranch) {
+    ir::FunctionBuilder b("f", 1);
+    const auto out = b.imm(0);
+    const auto cond = b.cmp_gt(b.param(0), b.imm(5));
+    const auto addr = b.imm(10);
+    b.store(addr, out);
+    b.if_begin(cond);
+    b.store(addr, b.imm(111));
+    b.if_else();
+    b.store(addr, b.imm(222));
+    b.if_end();
+    b.ret(b.load(addr));
+    const auto program = make_single(b.build());
+    sim::Machine m(program, nucleo().cores[0], 0);
+    EXPECT_EQ(m.run("f", std::vector<ir::Word>{9}).ret_value, 111);
+    EXPECT_EQ(m.run("f", std::vector<ir::Word>{1}).ret_value, 222);
+}
+
+TEST(Machine, CallPassesArgsAndReturns) {
+    ir::FunctionBuilder leaf("square", 1);
+    leaf.ret(leaf.mul(leaf.param(0), leaf.param(0)));
+    ir::FunctionBuilder main_fn("main", 1);
+    const auto r = main_fn.call("square", {main_fn.param(0)});
+    main_fn.ret(main_fn.add_imm(r, 1));
+    ir::Program program;
+    program.add(leaf.build());
+    program.add(main_fn.build());
+
+    sim::Machine m(program, nucleo().cores[0], 0);
+    EXPECT_EQ(m.run("main", std::vector<ir::Word>{6}).ret_value, 37);
+}
+
+TEST(Machine, SharedMemoryAcrossCalls) {
+    ir::FunctionBuilder writer("writer", 0);
+    writer.store(writer.imm(5), writer.imm(77));
+    ir::FunctionBuilder main_fn("main", 0);
+    (void)main_fn.call("writer", {});
+    main_fn.ret(main_fn.load(main_fn.imm(5)));
+    ir::Program program;
+    program.add(writer.build());
+    program.add(main_fn.build());
+    sim::Machine m(program, nucleo().cores[0], 0);
+    EXPECT_EQ(m.run("main", {}).ret_value, 77);
+}
+
+TEST(Machine, OutOfBoundsAccessThrows) {
+    ir::FunctionBuilder b("f", 0);
+    (void)b.load(b.imm(static_cast<ir::Word>(1) << 40));
+    const auto program = make_single(b.build());
+    sim::Machine m(program, nucleo().cores[0], 0);
+    EXPECT_THROW(m.run("f", {}), std::out_of_range);
+}
+
+TEST(Machine, UndefinedFunctionThrows) {
+    ir::Program program;
+    sim::Machine m(program, nucleo().cores[0], 0);
+    EXPECT_THROW(m.run("nope", {}), std::runtime_error);
+}
+
+TEST(Machine, ArgumentCountMismatchThrows) {
+    ir::FunctionBuilder b("f", 2);
+    const auto program = make_single(b.build());
+    sim::Machine m(program, nucleo().cores[0], 0);
+    EXPECT_THROW(m.run("f", std::vector<ir::Word>{1}), std::invalid_argument);
+}
+
+TEST(Machine, InstructionBudgetAborts) {
+    ir::FunctionBuilder b("f", 0);
+    const auto i = b.loop_begin(1000000);
+    (void)b.add(i, i);
+    b.loop_end();
+    const auto program = make_single(b.build());
+    sim::Machine m(program, nucleo().cores[0], 0);
+    m.set_instruction_budget(1000);
+    EXPECT_THROW(m.run("f", {}), std::runtime_error);
+}
+
+TEST(Machine, PredictableCoreIsCycleDeterministic) {
+    ir::FunctionBuilder b("f", 1);
+    const auto i = b.loop_begin(50);
+    (void)b.mul(i, b.param(0));
+    b.loop_end();
+    const auto program = make_single(b.build());
+
+    sim::Machine m1(program, nucleo().cores[0], 1, /*seed=*/1);
+    sim::Machine m2(program, nucleo().cores[0], 1, /*seed=*/999);
+    const auto r1 = m1.run("f", std::vector<ir::Word>{3});
+    const auto r2 = m2.run("f", std::vector<ir::Word>{3});
+    EXPECT_DOUBLE_EQ(r1.cycles, r2.cycles);
+    EXPECT_DOUBLE_EQ(r1.dynamic_energy_j, r2.dynamic_energy_j);
+}
+
+TEST(Machine, ComplexCoreShowsTimingVariance) {
+    ir::FunctionBuilder b("f", 0);
+    const auto i = b.loop_begin(200);
+    const auto addr = b.and_imm(i, 255);
+    (void)b.load(addr);
+    b.loop_end();
+    const auto program = make_single(b.build());
+
+    const auto tk1 = platform::apalis_tk1();
+    sim::Machine m1(program, tk1.cores[0], 0, /*seed=*/1);
+    sim::Machine m2(program, tk1.cores[0], 0, /*seed=*/2);
+    const auto r1 = m1.run("f", {});
+    const auto r2 = m2.run("f", {});
+    EXPECT_NE(r1.cycles, r2.cycles);
+}
+
+TEST(Machine, HigherFrequencyIsFasterButCostsMoreDynamicEnergy) {
+    ir::FunctionBuilder b("f", 0);
+    const auto i = b.loop_begin(100);
+    (void)b.add(i, i);
+    b.loop_end();
+    const auto program = make_single(b.build());
+
+    sim::Machine slow(program, nucleo().cores[0], 0);
+    sim::Machine fast(program, nucleo().cores[0], 2);
+    const auto rs = slow.run("f", {});
+    const auto rf = fast.run("f", {});
+    EXPECT_GT(rs.time_s, rf.time_s);
+    // Same cycle count; dynamic energy scales with V^2 so the faster (higher
+    // voltage) point spends more dynamic energy.
+    EXPECT_DOUBLE_EQ(rs.cycles, rf.cycles);
+    EXPECT_LT(rs.dynamic_energy_j, rf.dynamic_energy_j);
+}
+
+TEST(Machine, PowerTraceRecordedOnDemand) {
+    ir::FunctionBuilder b("f", 0);
+    (void)b.imm(255);
+    (void)b.imm(0);
+    const auto program = make_single(b.build());
+    sim::Machine m(program, nucleo().cores[0], 0);
+    const auto quiet = m.run("f", {});
+    EXPECT_TRUE(quiet.power_trace.empty());
+    const auto traced = m.run("f", {}, /*record_trace=*/true);
+    EXPECT_EQ(traced.power_trace.size(), 2u);
+    // Hamming-weight data dependence: storing 0xFF draws more power than 0.
+    EXPECT_GT(traced.power_trace[0], traced.power_trace[1]);
+}
+
+TEST(Machine, ClassCountsTallyExecutedInstructions) {
+    ir::FunctionBuilder b("f", 0);
+    (void)b.mul(b.imm(3), b.imm(4));
+    b.store(b.imm(9), b.imm(5));
+    const auto program = make_single(b.build());
+    sim::Machine m(program, nucleo().cores[0], 0);
+    const auto r = m.run("f", {});
+    EXPECT_EQ(
+        r.class_counts[static_cast<std::size_t>(isa::InstrClass::kMul)], 1);
+    EXPECT_EQ(
+        r.class_counts[static_cast<std::size_t>(isa::InstrClass::kStore)], 1);
+    EXPECT_EQ(
+        r.class_counts[static_cast<std::size_t>(isa::InstrClass::kMove)], 4);
+}
+
+TEST(Machine, PokePeekRoundTrip) {
+    ir::Program program;
+    program.memory_words = 128;
+    sim::Machine m(program, nucleo().cores[0], 0);
+    m.poke(17, -42);
+    EXPECT_EQ(m.peek(17), -42);
+    m.poke_span(10, std::vector<ir::Word>{1, 2, 3});
+    const auto span = m.peek_span(10, 3);
+    EXPECT_EQ(span, (std::vector<ir::Word>{1, 2, 3}));
+    m.clear_memory();
+    EXPECT_EQ(m.peek(17), 0);
+    EXPECT_THROW(m.poke(1000, 1), std::out_of_range);
+}
+
+TEST(Platform, PredictabilityClassification) {
+    EXPECT_TRUE(platform::nucleo_f091().predictable());
+    EXPECT_TRUE(platform::gr712rc().predictable());
+    EXPECT_TRUE(platform::camera_pill_board().predictable());
+    EXPECT_FALSE(platform::apalis_tk1().predictable());
+    EXPECT_FALSE(platform::jetson_tx2().predictable());
+    EXPECT_FALSE(platform::jetson_nano().predictable());
+}
+
+TEST(Platform, ByNameRoundTrip) {
+    for (const auto* name :
+         {"nucleo-f091", "camera-pill", "gr712rc", "apalis-tk1", "jetson-tx2",
+          "jetson-nano"}) {
+        EXPECT_EQ(platform::by_name(name).name, name);
+    }
+    EXPECT_THROW(platform::by_name("pdp11"), std::invalid_argument);
+}
+
+TEST(Platform, CoresOfClassFiltersAndEmptyMatchesAll) {
+    const auto tx2 = platform::jetson_tx2();
+    EXPECT_EQ(tx2.cores_of_class("big").size(), 2u);
+    EXPECT_EQ(tx2.cores_of_class("little").size(), 4u);
+    EXPECT_EQ(tx2.cores_of_class("gpu").size(), 1u);
+    EXPECT_EQ(tx2.cores_of_class("").size(), tx2.cores.size());
+}
+
+}  // namespace
