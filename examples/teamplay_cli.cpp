@@ -1,20 +1,24 @@
 // Command-line front end for the toolchain: pick a built-in use case (or
-// feed a CSL file against one of its programs), run the matching workflow,
-// and print the full report — schedule Gantt, per-task version choices,
-// generated glue, certificate.
+// feed a CSL file against one of its programs), run it through the
+// ScenarioEngine, and print the full report — schedule Gantt, per-task
+// version choices, generated glue, certificate.  With `--all`, every
+// built-in use case runs as one parallel batch and the engine's throughput
+// statistics are reported.
 //
 //   $ ./example_teamplay_cli pill
 //   $ ./example_teamplay_cli space --makespan
 //   $ ./example_teamplay_cli uav --platform jetson-tx2
 //   $ ./example_teamplay_cli parking --csl my_budgets.csl
+//   $ ./example_teamplay_cli --all --jobs 4 --quiet
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "core/advisor.hpp"
-#include "core/workflow.hpp"
+#include "core/scenario_engine.hpp"
 #include "usecases/apps.hpp"
 
 using namespace teamplay;
@@ -23,13 +27,37 @@ namespace {
 
 void usage() {
     std::puts(
-        "usage: example_teamplay_cli <pill|space|uav|parking> [options]\n"
+        "usage: example_teamplay_cli <pill|space|uav|parking|--all> "
+        "[options]\n"
         "  --platform <name>   uav/parking only: apalis-tk1, jetson-tx2,\n"
         "                      jetson-nano (uav), nucleo-f091 (parking)\n"
         "  --csl <file>        override the built-in CSL annotations\n"
         "  --makespan          schedule for makespan instead of energy\n"
         "  --seed <n>          search seed (default 42)\n"
+        "  --jobs <n>          engine worker threads (default 0 = caller)\n"
         "  --quiet             only print the certificate verdict");
+}
+
+/// Prints the report and returns whether its certificate is valid.
+bool print_report(const core::ToolchainReport& report,
+                  const platform::Platform& platform, bool quiet) {
+    if (!quiet) {
+        std::cout << report.summary() << "\n";
+        std::cout << "--- schedule (Gantt) ---\n"
+                  << report.schedule.gantt(platform) << "\n";
+        std::cout << "--- refactoring advisor ---\n"
+                  << core::render_advice(core::advise(report)) << "\n";
+        std::cout << "--- generated glue ---\n"
+                  << report.glue_code << "\n";
+    }
+    const bool ok = report.certificate.all_hold() &&
+                    contracts::verify_certificate(report.certificate);
+    std::printf("%s: certificate %s (%s)\n", report.spec.name.c_str(),
+                ok ? "VALID" : "INVALID",
+                report.certificate.fully_static()
+                    ? "statically proven"
+                    : "contains measured evidence");
+    return ok;
 }
 
 }  // namespace
@@ -45,6 +73,7 @@ int main(int argc, char** argv) {
     bool makespan = false;
     bool quiet = false;
     std::uint64_t seed = 42;
+    std::size_t jobs = 0;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--platform" && i + 1 < argc) {
@@ -57,6 +86,8 @@ int main(int argc, char** argv) {
             quiet = true;
         } else if (arg == "--seed" && i + 1 < argc) {
             seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            jobs = std::strtoull(argv[++i], nullptr, 10);
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             usage();
@@ -64,37 +95,7 @@ int main(int argc, char** argv) {
         }
     }
 
-    usecases::UseCaseApp app;
     try {
-        if (which == "pill") {
-            app = usecases::make_camera_pill_app();
-        } else if (which == "space") {
-            app = usecases::make_space_app();
-        } else if (which == "uav") {
-            app = usecases::make_uav_app(platform_override.empty()
-                                             ? "apalis-tk1"
-                                             : platform_override);
-        } else if (which == "parking") {
-            app = usecases::make_parking_app(platform_override !=
-                                             "apalis-tk1");
-        } else {
-            usage();
-            return 2;
-        }
-
-        std::string csl_source = app.csl_source;
-        if (!csl_path.empty()) {
-            std::ifstream in(csl_path);
-            if (!in) {
-                std::fprintf(stderr, "cannot read %s\n", csl_path.c_str());
-                return 2;
-            }
-            std::ostringstream buffer;
-            buffer << in.rdbuf();
-            csl_source = buffer.str();
-        }
-        const auto spec = csl::parse(csl_source);
-
         core::WorkflowOptions options;
         options.compiler.seed = seed;
         options.scheduler.seed = seed;
@@ -105,26 +106,75 @@ int main(int argc, char** argv) {
             options.scheduler.objective =
                 coordination::Scheduler::Objective::kMakespan;
 
-        const auto report =
-            core::run_toolchain(app.program, app.platform, spec, options);
-
-        if (!quiet) {
-            std::cout << report.summary() << "\n";
-            std::cout << "--- schedule (Gantt) ---\n"
-                      << report.schedule.gantt(app.platform) << "\n";
-            std::cout << "--- refactoring advisor ---\n"
-                      << core::render_advice(core::advise(report)) << "\n";
-            std::cout << "--- generated glue ---\n"
-                      << report.glue_code << "\n";
+        std::vector<usecases::UseCaseApp> apps;
+        if (which == "pill") {
+            apps.push_back(usecases::make_camera_pill_app());
+        } else if (which == "space") {
+            apps.push_back(usecases::make_space_app());
+        } else if (which == "uav") {
+            apps.push_back(usecases::make_uav_app(platform_override.empty()
+                                                      ? "apalis-tk1"
+                                                      : platform_override));
+        } else if (which == "parking") {
+            apps.push_back(
+                usecases::make_parking_app(platform_override != "apalis-tk1"));
+        } else if (which == "--all") {
+            apps.push_back(usecases::make_camera_pill_app());
+            apps.push_back(usecases::make_space_app());
+            apps.push_back(usecases::make_uav_app("apalis-tk1"));
+            apps.push_back(usecases::make_parking_app(true));
+        } else {
+            usage();
+            return 2;
         }
-        const bool ok = report.certificate.all_hold() &&
-                        contracts::verify_certificate(report.certificate);
-        std::printf("%s: certificate %s (%s)\n", spec.name.c_str(),
-                    ok ? "VALID" : "INVALID",
-                    report.certificate.fully_static()
-                        ? "statically proven"
-                        : "contains measured evidence");
-        return ok ? 0 : 1;
+
+        if (!csl_path.empty() && which == "--all") {
+            // One override file cannot annotate four different apps.
+            std::fprintf(stderr, "--csl cannot be combined with --all\n");
+            return 2;
+        }
+        if (!platform_override.empty() && which == "--all") {
+            std::fprintf(stderr,
+                         "--platform cannot be combined with --all\n");
+            return 2;
+        }
+        std::string csl_override;
+        if (!csl_path.empty()) {
+            std::ifstream in(csl_path);
+            if (!in) {
+                std::fprintf(stderr, "cannot read %s\n", csl_path.c_str());
+                return 2;
+            }
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            csl_override = buffer.str();
+        }
+
+        std::vector<core::ScenarioRequest> requests;
+        requests.reserve(apps.size());
+        for (const auto& app : apps) {
+            core::ScenarioRequest request;
+            request.program = &app.program;
+            request.platform = &app.platform;
+            request.csl_source =
+                csl_override.empty() ? app.csl_source : csl_override;
+            request.options = options;
+            request.label = app.name;
+            requests.push_back(std::move(request));
+        }
+
+        core::ScenarioEngine engine({.worker_threads = jobs});
+        core::BatchStats stats;
+        const auto reports = engine.run_all(requests, &stats);
+
+        bool all_ok = true;
+        for (std::size_t i = 0; i < reports.size(); ++i)
+            all_ok =
+                print_report(reports[i], *requests[i].platform, quiet) &&
+                all_ok;
+        if (reports.size() > 1)
+            std::printf("batch: %s\n", stats.to_string().c_str());
+        return all_ok ? 0 : 1;
     } catch (const std::exception& error) {
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;

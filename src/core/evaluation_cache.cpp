@@ -1,0 +1,93 @@
+#include "core/evaluation_cache.hpp"
+
+#include <bit>
+
+#include "ir/printer.hpp"
+
+namespace teamplay::core {
+
+std::uint64_t fingerprint_program(const ir::Program& program) {
+    Fingerprint fp;
+    fp.mix(ir::to_string(program));
+    return fp.value;
+}
+
+std::string_view analysis_kind_name(AnalysisKind kind) {
+    switch (kind) {
+        case AnalysisKind::kCompiledFront: return "front";
+        case AnalysisKind::kProfile: return "profile";
+        case AnalysisKind::kTaint: return "taint";
+    }
+    return "?";
+}
+
+Fingerprint& Fingerprint::mix(std::uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+        value ^= (word >> (8 * byte)) & 0xFFU;
+        value *= 1099511628211ULL;
+    }
+    return *this;
+}
+
+Fingerprint& Fingerprint::mix(double number) {
+    return mix(std::bit_cast<std::uint64_t>(number));
+}
+
+Fingerprint& Fingerprint::mix(std::string_view text) {
+    for (const char c : text) {
+        value ^= static_cast<unsigned char>(c);
+        value *= 1099511628211ULL;
+    }
+    return mix(static_cast<std::uint64_t>(text.size()));
+}
+
+std::shared_ptr<const EvaluationResult> EvaluationCache::lookup(
+    const EvaluationKey& key, const Compute& compute) {
+    std::promise<std::shared_ptr<const EvaluationResult>> promise;
+    Slot slot;
+    bool owner = false;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            slot = it->second;
+        } else {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            slot = promise.get_future().share();
+            entries_.emplace(key, slot);
+            owner = true;
+        }
+    }
+    if (owner) {
+        try {
+            promise.set_value(
+                std::make_shared<const EvaluationResult>(compute()));
+        } catch (...) {
+            // Propagate to every waiter but drop the key so a later call
+            // can retry (e.g. after the caller fixes its inputs).
+            {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                entries_.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return slot.get();
+}
+
+EvaluationCache::Stats EvaluationCache::stats() const {
+    Stats stats;
+    stats.hits = hits_.load(std::memory_order_relaxed);
+    stats.misses = misses_.load(std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats.entries = entries_.size();
+    return stats;
+}
+
+void EvaluationCache::clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+}
+
+}  // namespace teamplay::core

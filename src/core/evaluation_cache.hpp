@@ -1,0 +1,112 @@
+// Memoised analysis results shared across pipeline stages and scenarios.
+//
+// Every expensive per-(task entry, core class, OPP) computation of the
+// toolchain — a multi-criteria compiled Pareto front, a PowProfiler
+// measurement campaign, a taint analysis — is a pure function of the source
+// program and a handful of option values.  The cache keys on exactly that
+// tuple plus an `AnalysisKind` discriminator and an options fingerprint, so
+// a batch of scenarios that share an application re-analyses each key once,
+// no matter how many platform/option variations the batch sweeps.
+//
+// Concurrency: lookups are single-flight.  The first requester of a key
+// computes the value while later requesters block on a shared future, so a
+// worker pool hammering the same key does the work once and all observers
+// see one identical result (a prerequisite for the engine's determinism
+// guarantee).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "compiler/multi_criteria.hpp"
+#include "profiler/pow_profiler.hpp"
+
+namespace teamplay::core {
+
+/// What a cache entry holds.
+enum class AnalysisKind : std::uint8_t {
+    kCompiledFront,  ///< multi-criteria compiler Pareto front (static flow)
+    kProfile,        ///< PowProfiler measurement campaign (complex flow)
+    kTaint,          ///< static leakage proxy of an entry function
+};
+
+[[nodiscard]] std::string_view analysis_kind_name(AnalysisKind kind);
+
+/// FNV-1a accumulator for the option values that influence a result.
+struct Fingerprint {
+    std::uint64_t value = 14695981039346656037ULL;
+
+    Fingerprint& mix(std::uint64_t word);
+    Fingerprint& mix(double number);
+    Fingerprint& mix(std::string_view text);
+};
+
+struct EvaluationKey {
+    /// Content fingerprint of the analysed IR program (see
+    /// `fingerprint_program`).  Deliberately not a pointer: a long-lived
+    /// engine must not serve stale results when a freed program's address
+    /// is reused by a new one.
+    std::uint64_t program_fp = 0;
+    std::string entry;              ///< task entry function
+    std::string core_class;         ///< "" for program-wide analyses
+    std::size_t opp_index = 0;      ///< 0 when the kind spans all OPPs
+    AnalysisKind kind = AnalysisKind::kCompiledFront;
+    std::uint64_t params = 0;       ///< fingerprint of influencing options
+
+    auto operator<=>(const EvaluationKey&) const = default;
+};
+
+/// Content hash of a program (its canonical textual dump), the program
+/// component of every EvaluationKey.
+[[nodiscard]] std::uint64_t fingerprint_program(const ir::Program& program);
+
+/// One memoised result; only the member matching the key's kind is set.
+struct EvaluationResult {
+    std::shared_ptr<const std::vector<compiler::TaskVersion>> front;
+    profiler::TaskProfile profile;
+    double leakage = 0.0;
+};
+
+class EvaluationCache {
+public:
+    using Compute = std::function<EvaluationResult()>;
+
+    /// Return the result for `key`, invoking `compute` exactly once per key
+    /// across all threads.  A compute that throws propagates to every
+    /// waiter and leaves the key uncached so it can be retried.
+    [[nodiscard]] std::shared_ptr<const EvaluationResult> lookup(
+        const EvaluationKey& key, const Compute& compute);
+
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::size_t entries = 0;
+
+        [[nodiscard]] double hit_ratio() const {
+            const auto total = hits + misses;
+            return total > 0 ? static_cast<double>(hits) /
+                                   static_cast<double>(total)
+                             : 0.0;
+        }
+    };
+
+    [[nodiscard]] Stats stats() const;
+    void clear();
+
+private:
+    using Slot = std::shared_future<std::shared_ptr<const EvaluationResult>>;
+
+    mutable std::mutex mutex_;
+    std::map<EvaluationKey, Slot> entries_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace teamplay::core

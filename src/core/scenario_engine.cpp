@@ -1,0 +1,92 @@
+#include "core/scenario_engine.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/stages.hpp"
+
+namespace teamplay::core {
+
+std::string BatchStats::to_string() const {
+    std::ostringstream os;
+    os << scenarios << " scenarios in " << wall_s << " s (" << scenarios_per_s
+       << " scenarios/s, " << workers << " threads; cache: " << cache.hits
+       << " hits / " << cache.misses << " misses, " << cache.entries
+       << " entries)";
+    return os.str();
+}
+
+ScenarioEngine::ScenarioEngine(Options options)
+    : pool_(options.worker_threads),
+      predictable_stages_(predictable_stage_configuration()),
+      complex_stages_(complex_stage_configuration()) {}
+
+ScenarioEngine::~ScenarioEngine() = default;
+
+ToolchainReport ScenarioEngine::run_scenario(
+    const ScenarioRequest& request) {
+    if (request.program == nullptr || request.platform == nullptr)
+        throw std::invalid_argument(
+            "ScenarioRequest requires a program and a platform");
+    ScenarioContext context;
+    context.request = &request;
+    context.program = request.program;
+    context.program_fp = fingerprint_program(*request.program);
+    context.platform = request.platform;
+    context.options = request.options;
+    context.cache = &cache_;
+    context.pool = &pool_;
+    {
+        const std::lock_guard<std::mutex> lock(validated_mutex_);
+        context.program_validated =
+            validated_programs_.contains(context.program_fp);
+    }
+
+    const auto& stages = request.platform->predictable()
+                             ? predictable_stages_
+                             : complex_stages_;
+    for (const auto& stage : stages) stage->run(context);
+    // Record only after the pipeline (and thus ParseStage's validation)
+    // succeeded, so an invalid program is re-validated — and re-rejected —
+    // on every attempt.
+    {
+        const std::lock_guard<std::mutex> lock(validated_mutex_);
+        validated_programs_.insert(context.program_fp);
+    }
+    return std::move(context.report);
+}
+
+ToolchainReport ScenarioEngine::run(const ScenarioRequest& request) {
+    return run_scenario(request);
+}
+
+std::vector<ToolchainReport> ScenarioEngine::run_all(
+    std::span<const ScenarioRequest> requests, BatchStats* stats) {
+    const auto before = cache_.stats();
+    const auto start = std::chrono::steady_clock::now();
+
+    std::vector<ToolchainReport> reports(requests.size());
+    pool_.parallel_for(requests.size(), [&](std::size_t i) {
+        reports[i] = run_scenario(requests[i]);
+    });
+
+    if (stats != nullptr) {
+        const auto after = cache_.stats();
+        stats->scenarios = requests.size();
+        stats->workers = pool_.concurrency();
+        stats->wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+        stats->scenarios_per_s =
+            stats->wall_s > 0.0
+                ? static_cast<double>(requests.size()) / stats->wall_s
+                : 0.0;
+        stats->cache.hits = after.hits - before.hits;
+        stats->cache.misses = after.misses - before.misses;
+        stats->cache.entries = after.entries;
+    }
+    return reports;
+}
+
+}  // namespace teamplay::core

@@ -1,0 +1,114 @@
+// Staged, parallel scenario engine: the single driver behind both toolchain
+// flows of the paper.
+//
+// A scenario is one (application program, platform, CSL spec, options)
+// tuple.  The engine runs it through a fixed pipeline of composable stages
+// (ParseStage -> AnalyseStage -> ScheduleStage -> ContractStage ->
+// CertifyStage, see stages.hpp); the predictable flow of Fig. 1 and the
+// complex flow of Fig. 2 are two *configurations* of that pipeline — a
+// static-analysis AnalyseStage/ContractStage versus a profiling one — not
+// two code paths.
+//
+// Scale machinery:
+//   * an EvaluationCache memoises every per-(task entry, core class, OPP)
+//     analyser/profiler result, shared across stages and scenarios;
+//   * a support::ThreadPool evaluates independent tuples concurrently and
+//     runs whole scenarios of a batch in parallel (`run_all`).
+//
+// Determinism: every parallel unit is seeded from its own key and writes to
+// its own slot, so reports — including certificate bytes — are identical
+// for any worker count, and identical to the legacy single-scenario
+// workflow drivers (which are now thin wrappers over this engine).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/evaluation_cache.hpp"
+#include "core/workflow.hpp"
+#include "support/thread_pool.hpp"
+
+namespace teamplay::core {
+
+class Stage;
+
+/// One toolchain invocation to execute.
+struct ScenarioRequest {
+    const ir::Program* program = nullptr;      ///< must outlive the engine run
+    const platform::Platform* platform = nullptr;
+    std::string csl_source;                    ///< parsed when `spec` is empty
+    std::optional<csl::AppSpec> spec;          ///< pre-parsed spec wins
+    WorkflowOptions options;
+    std::string label;                         ///< free-form tag for reports
+};
+
+/// Aggregate throughput statistics of one `run_all` batch.
+struct BatchStats {
+    std::size_t scenarios = 0;
+    std::size_t workers = 0;          ///< pool concurrency during the batch
+    double wall_s = 0.0;
+    double scenarios_per_s = 0.0;
+    EvaluationCache::Stats cache;     ///< hits/misses incurred by this batch
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+class ScenarioEngine {
+public:
+    struct Options {
+        /// Extra worker threads; 0 = run everything on the calling thread.
+        std::size_t worker_threads = 0;
+    };
+
+    // Not a default argument: GCC rejects `Options{}` defaults for nested
+    // aggregates with member initializers inside the enclosing class.
+    ScenarioEngine() : ScenarioEngine(Options{}) {}
+    explicit ScenarioEngine(Options options);
+    ~ScenarioEngine();
+
+    ScenarioEngine(const ScenarioEngine&) = delete;
+    ScenarioEngine& operator=(const ScenarioEngine&) = delete;
+
+    /// Execute one scenario through the stage configuration matching the
+    /// platform's architecture class.
+    [[nodiscard]] ToolchainReport run(const ScenarioRequest& request);
+
+    /// Execute a batch of scenarios in parallel (scenario-level parallelism
+    /// on top of per-stage tuple parallelism; both draw on the same pool).
+    /// Reports come back in request order.  The first scenario error is
+    /// rethrown after the batch drains.
+    [[nodiscard]] std::vector<ToolchainReport> run_all(
+        std::span<const ScenarioRequest> requests,
+        BatchStats* stats = nullptr);
+
+    [[nodiscard]] EvaluationCache::Stats cache_stats() const {
+        return cache_.stats();
+    }
+    void clear_cache() { cache_.clear(); }
+
+    /// Threads that execute work (workers + caller).
+    [[nodiscard]] std::size_t concurrency() const {
+        return pool_.concurrency();
+    }
+
+private:
+    [[nodiscard]] ToolchainReport run_scenario(
+        const ScenarioRequest& request);
+
+    EvaluationCache cache_;
+    support::ThreadPool pool_;
+    /// Content fingerprints of programs already validated by this engine
+    /// (validation is idempotent per program content; skip repeats).
+    std::mutex validated_mutex_;
+    std::set<std::uint64_t> validated_programs_;
+    std::vector<std::unique_ptr<const Stage>> predictable_stages_;
+    std::vector<std::unique_ptr<const Stage>> complex_stages_;
+};
+
+}  // namespace teamplay::core

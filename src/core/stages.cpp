@@ -1,0 +1,418 @@
+#include "core/stages.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "ir/validate.hpp"
+#include "security/taint.hpp"
+
+namespace teamplay::core {
+
+namespace {
+
+/// Representative core index per distinct core class of the platform.
+std::map<std::string, std::size_t> class_representatives(
+    const platform::Platform& platform) {
+    std::map<std::string, std::size_t> reps;
+    for (std::size_t i = 0; i < platform.cores.size(); ++i)
+        reps.try_emplace(platform.cores[i].core_class, i);
+    return reps;
+}
+
+/// Core classes a task may run on, honouring its CSL constraint.
+std::vector<std::string> allowed_classes(
+    const csl::TaskSpec& spec,
+    const std::map<std::string, std::size_t>& reps) {
+    std::vector<std::string> classes;
+    for (const auto& [cls, idx] : reps)
+        if (spec.core_class.empty() || spec.core_class == cls)
+            classes.push_back(cls);
+    return classes;
+}
+
+double effective_deadline(const csl::AppSpec& spec) {
+    double deadline = spec.deadline_s;
+    if (deadline <= 0.0)
+        for (const auto& task : spec.tasks)
+            deadline = std::max(deadline, task.deadline_s);
+    return deadline;
+}
+
+coordination::GlueStyle default_glue_style(
+    const platform::Platform& platform) {
+    if (platform.name == "gr712rc") return coordination::GlueStyle::kRtems;
+    if (platform.predictable() && platform.cores.size() == 1)
+        return coordination::GlueStyle::kSequential;
+    return coordination::GlueStyle::kPosix;
+}
+
+void attach_rta(ToolchainReport& report,
+                const platform::Platform& platform) {
+    // Rate-monotonic response-time analysis per core, when every task
+    // scheduled there is periodic.
+    for (std::size_t c = 0; c < platform.cores.size(); ++c) {
+        std::vector<coordination::PeriodicTask> periodic;
+        bool all_periodic = true;
+        for (const auto& entry : report.schedule.entries) {
+            if (entry.core != c) continue;
+            const auto* spec = report.spec.find(entry.task);
+            if (spec == nullptr || spec->period_s <= 0.0) {
+                all_periodic = false;
+                break;
+            }
+            coordination::PeriodicTask task;
+            task.name = entry.task;
+            task.wcet_s = entry.finish_s - entry.start_s;
+            task.period_s = spec->period_s;
+            task.deadline_s = spec->deadline_s;
+            periodic.push_back(std::move(task));
+        }
+        if (all_periodic && periodic.size() > 1)
+            report.rta[c] = coordination::response_time_analysis(periodic);
+    }
+}
+
+/// Mix the identity of a core (everything that influences analyser and
+/// profiler output) into a fingerprint.  The key's core_class alone is not
+/// enough: different boards reuse class names with different OPP tables,
+/// and the full cost model must participate — two boards may share names
+/// and OPPs yet differ in a cost table entry.
+void mix_core(Fingerprint& fp, const platform::Core& core) {
+    fp.mix(core.name).mix(core.core_class);
+    const auto& model = core.model;
+    fp.mix(model.name);
+    fp.mix(static_cast<std::uint64_t>(model.predictable ? 1 : 0));
+    for (const auto& entry : model.cost)
+        fp.mix(entry.cycles).mix(entry.energy_pj);
+    fp.mix(model.branch_cycles).mix(model.branch_energy_pj);
+    fp.mix(model.loop_iter_cycles).mix(model.loop_iter_energy_pj);
+    fp.mix(model.call_cycles).mix(model.call_energy_pj);
+    fp.mix(model.nominal_voltage).mix(model.data_alpha_pj_per_bit);
+    fp.mix(model.cache_miss_prob).mix(model.cache_miss_penalty);
+    fp.mix(model.timing_jitter_sigma);
+    for (const auto& opp : core.opps)
+        fp.mix(opp.freq_hz).mix(opp.voltage).mix(opp.static_power_w);
+}
+
+std::uint64_t front_params(
+    const compiler::MultiCriteriaCompiler::Options& options,
+    const csl::TaskSpec& task_spec, const platform::Core& core) {
+    Fingerprint fp;
+    fp.mix(static_cast<std::uint64_t>(options.engine));
+    fp.mix(static_cast<std::uint64_t>(options.population));
+    fp.mix(static_cast<std::uint64_t>(options.iterations));
+    fp.mix(options.seed);
+    fp.mix(static_cast<std::uint64_t>(options.max_versions));
+    fp.mix(task_spec.security_hint);
+    mix_core(fp, core);
+    return fp.value;
+}
+
+std::uint64_t profile_params(int profile_runs, const platform::Core& core) {
+    Fingerprint fp;
+    fp.mix(static_cast<std::uint64_t>(profile_runs));
+    mix_core(fp, core);
+    return fp.value;
+}
+
+/// The static per-(task, core class) unit of work: multi-criteria
+/// compilation plus security-hint enforcement.  Pure function of its
+/// arguments — exactly what the cache memoises.
+std::vector<compiler::TaskVersion> compile_front(
+    const ir::Program& program, const platform::Core& core,
+    const csl::TaskSpec& task_spec,
+    compiler::MultiCriteriaCompiler::Options compiler_options) {
+    compiler::MultiCriteriaCompiler mcc(program, core);
+    compiler_options.explore_security = task_spec.security_hint == "auto";
+    auto front = mcc.optimise(task_spec.entry, compiler_options);
+
+    // A fixed security hint overrides the knob on every version.
+    if (task_spec.security_hint == "balance" ||
+        task_spec.security_hint == "ladder") {
+        const auto forced = task_spec.security_hint == "balance"
+                                ? compiler::SecurityLevel::kBalance
+                                : compiler::SecurityLevel::kLadder;
+        for (auto& version : front) {
+            auto config = version.config;
+            config.security = forced;
+            version = mcc.compile(task_spec.entry, config);
+        }
+    }
+    return front;
+}
+
+}  // namespace
+
+// -- ParseStage ---------------------------------------------------------------
+
+void ParseStage::run(ScenarioContext& context) const {
+    if (!context.program_validated) ir::validate_or_throw(*context.program);
+    if (context.request->spec.has_value())
+        context.report.spec = *context.request->spec;
+    else
+        context.report.spec = csl::parse(context.request->csl_source);
+    context.report.platform_name = context.platform->name;
+    context.report.graph = context.report.spec.skeleton();
+}
+
+// -- AnalyseStage -------------------------------------------------------------
+
+void AnalyseStage::run(ScenarioContext& context) const {
+    if (mode_ == Mode::kStatic)
+        run_static(context);
+    else
+        run_profiled(context);
+}
+
+void AnalyseStage::run_static(ScenarioContext& context) const {
+    const auto reps = class_representatives(*context.platform);
+
+    struct Tuple {
+        const csl::TaskSpec* task;
+        std::string cls;
+        const platform::Core* core;
+    };
+    std::vector<Tuple> tuples;
+    for (const auto& task_spec : context.report.spec.tasks) {
+        const auto classes = allowed_classes(task_spec, reps);
+        if (classes.empty())
+            throw std::runtime_error("task '" + task_spec.name +
+                                     "' fits no core class of " +
+                                     context.platform->name);
+        for (const auto& cls : classes)
+            tuples.push_back({&task_spec, cls,
+                              &context.platform->cores[reps.at(cls)]});
+    }
+
+    std::vector<std::shared_ptr<const EvaluationResult>> results(
+        tuples.size());
+    context.pool->parallel_for(tuples.size(), [&](std::size_t i) {
+        const auto& tuple = tuples[i];
+        EvaluationKey key;
+        key.program_fp = context.program_fp;
+        key.entry = tuple.task->entry;
+        key.core_class = tuple.cls;
+        key.kind = AnalysisKind::kCompiledFront;
+        key.params =
+            front_params(context.options.compiler, *tuple.task, *tuple.core);
+        results[i] = context.cache->lookup(key, [&] {
+            EvaluationResult result;
+            result.front =
+                std::make_shared<const std::vector<compiler::TaskVersion>>(
+                    compile_front(*context.program, *tuple.core, *tuple.task,
+                                  context.options.compiler));
+            return result;
+        });
+    });
+
+    // Merge in tuple order so the report is independent of worker count and
+    // identical to the legacy driver's (spec order x sorted class order).
+    for (std::size_t i = 0; i < tuples.size(); ++i) {
+        const auto& tuple = tuples[i];
+        coordination::Task* task =
+            context.report.graph.find(tuple.task->name);
+        TaskFront front;
+        front.task = tuple.task->name;
+        front.core_class = tuple.cls;
+        front.versions = *results[i]->front;
+        for (const auto& version : front.versions) {
+            coordination::VersionChoice choice;
+            choice.time_s = version.wcet_s;
+            choice.energy_j = version.energy_dynamic_j;
+            choice.leakage = version.leakage;
+            choice.opp_index = version.config.opp_index;
+            choice.note = version.config.label();
+            task->versions[tuple.cls].push_back(choice);
+        }
+        context.report.fronts.push_back(std::move(front));
+    }
+}
+
+void AnalyseStage::run_profiled(ScenarioContext& context) const {
+    // Pass 1 (solid path of Fig. 2): sequential glue + dynamic profiling of
+    // every task on every admissible (core class, DVFS point).
+    context.report.sequential_glue = coordination::generate_glue(
+        context.report.graph, {}, *context.platform,
+        coordination::GlueStyle::kSequential);
+
+    const auto reps = class_representatives(*context.platform);
+
+    struct Tuple {
+        const csl::TaskSpec* task;
+        const ir::Function* entry;
+        std::string cls;
+        const platform::Core* core;
+        std::size_t opp;
+    };
+    std::vector<Tuple> tuples;
+    for (const auto& task_spec : context.report.spec.tasks) {
+        const ir::Function* entry = context.program->find(task_spec.entry);
+        if (entry == nullptr)
+            throw std::runtime_error("task '" + task_spec.name +
+                                     "' entry function '" + task_spec.entry +
+                                     "' not found");
+        for (const auto& cls : allowed_classes(task_spec, reps)) {
+            const auto& core = context.platform->cores[reps.at(cls)];
+            for (std::size_t opp = 0; opp < core.opps.size(); ++opp)
+                tuples.push_back({&task_spec, entry, cls, &core, opp});
+        }
+    }
+
+    std::vector<coordination::VersionChoice> choices(tuples.size());
+    context.pool->parallel_for(tuples.size(), [&](std::size_t i) {
+        const auto& tuple = tuples[i];
+
+        EvaluationKey taint_key;
+        taint_key.program_fp = context.program_fp;
+        taint_key.entry = tuple.task->entry;
+        taint_key.kind = AnalysisKind::kTaint;
+        const auto taint = context.cache->lookup(taint_key, [&] {
+            EvaluationResult result;
+            result.leakage =
+                security::analyze_taint(*context.program, *tuple.entry)
+                    .leakage_proxy();
+            return result;
+        });
+
+        EvaluationKey key;
+        key.program_fp = context.program_fp;
+        key.entry = tuple.task->entry;
+        key.core_class = tuple.cls;
+        key.opp_index = tuple.opp;
+        key.kind = AnalysisKind::kProfile;
+        key.params =
+            profile_params(context.options.profile_runs, *tuple.core);
+        const auto measured = context.cache->lookup(key, [&] {
+            EvaluationResult result;
+            // Each (core, OPP) campaign owns a fresh machine per run inside
+            // the profiler, so concurrent tuples never share simulator
+            // state; the seed is a pure function of the OPP (legacy
+            // convention), keeping results thread-count-invariant.
+            profiler::PowProfiler prof(*context.program, *tuple.core,
+                                       tuple.opp,
+                                       /*seed=*/tuple.opp * 131 + 7);
+            result.profile = prof.profile(
+                tuple.task->entry,
+                profiler::zero_inputs(tuple.entry->param_count),
+                context.options.profile_runs);
+            return result;
+        });
+
+        coordination::VersionChoice choice;
+        choice.time_s = measured->profile.time_s.high_water_mark();
+        choice.energy_j = measured->profile.energy_j.mean;
+        choice.leakage = taint->leakage;
+        choice.opp_index = tuple.opp;
+        choice.note = "profiled@opp" + std::to_string(tuple.opp);
+        choices[i] = std::move(choice);
+    });
+
+    for (std::size_t i = 0; i < tuples.size(); ++i) {
+        coordination::Task* task =
+            context.report.graph.find(tuples[i].task->name);
+        task->versions[tuples[i].cls].push_back(std::move(choices[i]));
+    }
+}
+
+// -- ScheduleStage ------------------------------------------------------------
+
+void ScheduleStage::run(ScenarioContext& context) const {
+    auto scheduler_options = context.options.scheduler;
+    if (scheduler_options.deadline_s <= 0.0)
+        scheduler_options.deadline_s = effective_deadline(context.report.spec);
+    const coordination::Scheduler scheduler(*context.platform);
+    context.report.schedule =
+        scheduler.schedule(context.report.graph, scheduler_options);
+    attach_rta(context.report, *context.platform);
+
+    const auto style = context.options.glue_style.value_or(
+        default_glue_style(*context.platform));
+    context.report.glue_code = coordination::generate_glue(
+        context.report.graph, context.report.schedule, *context.platform,
+        style);
+}
+
+// -- ContractStage ------------------------------------------------------------
+
+void ContractStage::run(ScenarioContext& context) const {
+    auto& report = context.report;
+    std::vector<contracts::ContractInput> inputs;
+    for (const auto& entry : report.schedule.entries) {
+        const auto* task_spec = context.report.spec.find(entry.task);
+        if (task_spec == nullptr) continue;
+
+        if (mode_ == Mode::kStatic) {
+            const compiler::TaskVersion* chosen_v =
+                report.chosen_version(entry.task);
+            if (chosen_v == nullptr) continue;
+            contracts::ContractInput input;
+            input.poi = entry.task;
+            input.function = task_spec->entry;
+            input.program = chosen_v->program.get();
+            input.core = &context.platform->cores[entry.core];
+            input.opp_index = chosen_v->config.opp_index;
+            input.time_budget_s = task_spec->time_budget_s;
+            input.energy_budget_j = task_spec->energy_budget_j;
+            input.leakage_budget = task_spec->leakage_budget;
+            input.leakage_proxy = chosen_v->leakage;
+            inputs.push_back(std::move(input));
+        } else {
+            const auto* task = report.graph.find(entry.task);
+            const auto* versions = task->versions_for(
+                context.platform->cores[entry.core].core_class);
+            if (versions == nullptr || entry.version >= versions->size())
+                continue;
+            const auto& choice = (*versions)[entry.version];
+            contracts::ContractInput input;
+            input.poi = entry.task;
+            input.function = task_spec->entry;
+            input.measured_only = true;
+            input.measured_time_s = choice.time_s;
+            input.measured_energy_j = choice.energy_j;
+            input.time_budget_s = task_spec->time_budget_s;
+            input.energy_budget_j = task_spec->energy_budget_j;
+            input.leakage_budget = task_spec->leakage_budget;
+            input.leakage_proxy = choice.leakage;
+            inputs.push_back(std::move(input));
+        }
+    }
+    context.contract_inputs = std::move(inputs);
+}
+
+// -- CertifyStage -------------------------------------------------------------
+
+void CertifyStage::run(ScenarioContext& context) const {
+    context.report.certificate =
+        contracts::check_contracts(context.report.spec.name,
+                                   context.platform->name,
+                                   context.contract_inputs);
+}
+
+// -- configurations -----------------------------------------------------------
+
+std::vector<std::unique_ptr<const Stage>> predictable_stage_configuration() {
+    std::vector<std::unique_ptr<const Stage>> stages;
+    stages.push_back(std::make_unique<ParseStage>());
+    stages.push_back(
+        std::make_unique<AnalyseStage>(AnalyseStage::Mode::kStatic));
+    stages.push_back(std::make_unique<ScheduleStage>());
+    stages.push_back(
+        std::make_unique<ContractStage>(ContractStage::Mode::kStatic));
+    stages.push_back(std::make_unique<CertifyStage>());
+    return stages;
+}
+
+std::vector<std::unique_ptr<const Stage>> complex_stage_configuration() {
+    std::vector<std::unique_ptr<const Stage>> stages;
+    stages.push_back(std::make_unique<ParseStage>());
+    stages.push_back(
+        std::make_unique<AnalyseStage>(AnalyseStage::Mode::kProfiled));
+    stages.push_back(std::make_unique<ScheduleStage>());
+    stages.push_back(
+        std::make_unique<ContractStage>(ContractStage::Mode::kMeasured));
+    stages.push_back(std::make_unique<CertifyStage>());
+    return stages;
+}
+
+}  // namespace teamplay::core

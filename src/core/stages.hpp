@@ -1,0 +1,120 @@
+// Composable pipeline stages of the ScenarioEngine.
+//
+// Stage graph (linear; DESIGN.md §3):
+//
+//   ParseStage     validate the IR, parse/adopt the CSL spec, build the
+//                  task-graph skeleton
+//   AnalyseStage   fill per-(task, core class[, OPP]) version candidates —
+//                  kStatic: multi-criteria compiled Pareto fronts (Fig. 1);
+//                  kProfiled: sequential glue + PowProfiler campaigns
+//                  (Fig. 2, pass 1)
+//   ScheduleStage  energy-aware multi-version schedule, RM response-time
+//                  analysis, final glue code
+//   ContractStage  assemble per-POI contract inputs from the chosen
+//                  versions — kStatic: analysable programs for proof
+//                  construction; kMeasured: profiled estimates
+//   CertifyStage   check contracts and emit the certificate
+//
+// Stages are stateless const objects; all scenario state lives in the
+// ScenarioContext, so one stage instance serves concurrent scenarios.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "contracts/system.hpp"
+#include "core/scenario_engine.hpp"
+
+namespace teamplay::core {
+
+/// Mutable state threaded through the pipeline for one scenario.
+struct ScenarioContext {
+    const ScenarioRequest* request = nullptr;
+    const ir::Program* program = nullptr;
+    std::uint64_t program_fp = 0;   ///< content hash, filled by the engine
+    /// Set by the engine when this program content was already validated
+    /// in this engine's lifetime (ParseStage then skips re-validation).
+    bool program_validated = false;
+    const platform::Platform* platform = nullptr;
+    WorkflowOptions options;
+    EvaluationCache* cache = nullptr;
+    support::ThreadPool* pool = nullptr;
+    std::vector<contracts::ContractInput> contract_inputs;  ///< ContractStage
+    /// The pipeline's product; `report.spec` (filled by ParseStage) is the
+    /// single authoritative copy of the parsed CSL spec.
+    ToolchainReport report;
+};
+
+class Stage {
+public:
+    virtual ~Stage() = default;
+    [[nodiscard]] virtual std::string_view name() const = 0;
+    virtual void run(ScenarioContext& context) const = 0;
+};
+
+class ParseStage final : public Stage {
+public:
+    [[nodiscard]] std::string_view name() const override { return "parse"; }
+    void run(ScenarioContext& context) const override;
+};
+
+class AnalyseStage final : public Stage {
+public:
+    enum class Mode : std::uint8_t {
+        kStatic,    ///< Fig. 1: static WCET/energy/security analysers
+        kProfiled,  ///< Fig. 2: dynamic PowProfiler measurements
+    };
+
+    explicit AnalyseStage(Mode mode) : mode_(mode) {}
+    [[nodiscard]] std::string_view name() const override { return "analyse"; }
+    void run(ScenarioContext& context) const override;
+
+private:
+    void run_static(ScenarioContext& context) const;
+    void run_profiled(ScenarioContext& context) const;
+
+    Mode mode_;
+};
+
+class ScheduleStage final : public Stage {
+public:
+    [[nodiscard]] std::string_view name() const override {
+        return "schedule";
+    }
+    void run(ScenarioContext& context) const override;
+};
+
+class ContractStage final : public Stage {
+public:
+    enum class Mode : std::uint8_t {
+        kStatic,    ///< proofs built from the chosen compiled versions
+        kMeasured,  ///< measured estimates admitted as evidence
+    };
+
+    explicit ContractStage(Mode mode) : mode_(mode) {}
+    [[nodiscard]] std::string_view name() const override {
+        return "contract";
+    }
+    void run(ScenarioContext& context) const override;
+
+private:
+    Mode mode_;
+};
+
+class CertifyStage final : public Stage {
+public:
+    [[nodiscard]] std::string_view name() const override { return "certify"; }
+    void run(ScenarioContext& context) const override;
+};
+
+/// The Fig. 1 configuration: static analysis end to end.
+[[nodiscard]] std::vector<std::unique_ptr<const Stage>>
+predictable_stage_configuration();
+
+/// The Fig. 2 configuration: profile, then schedule from measurements.
+[[nodiscard]] std::vector<std::unique_ptr<const Stage>>
+complex_stage_configuration();
+
+}  // namespace teamplay::core

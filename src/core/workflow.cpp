@@ -1,81 +1,12 @@
 #include "core/workflow.hpp"
 
-#include <algorithm>
-#include <set>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/scenario_engine.hpp"
 #include "ir/validate.hpp"
-#include "security/taint.hpp"
-#include "support/units.hpp"
 
 namespace teamplay::core {
-
-namespace {
-
-/// Representative core index per distinct core class of the platform.
-std::map<std::string, std::size_t> class_representatives(
-    const platform::Platform& platform) {
-    std::map<std::string, std::size_t> reps;
-    for (std::size_t i = 0; i < platform.cores.size(); ++i)
-        reps.try_emplace(platform.cores[i].core_class, i);
-    return reps;
-}
-
-/// Core classes a task may run on, honouring its CSL constraint.
-std::vector<std::string> allowed_classes(
-    const csl::TaskSpec& spec,
-    const std::map<std::string, std::size_t>& reps) {
-    std::vector<std::string> classes;
-    for (const auto& [cls, idx] : reps)
-        if (spec.core_class.empty() || spec.core_class == cls)
-            classes.push_back(cls);
-    return classes;
-}
-
-double effective_deadline(const csl::AppSpec& spec) {
-    double deadline = spec.deadline_s;
-    if (deadline <= 0.0)
-        for (const auto& task : spec.tasks)
-            deadline = std::max(deadline, task.deadline_s);
-    return deadline;
-}
-
-coordination::GlueStyle default_glue_style(
-    const platform::Platform& platform) {
-    if (platform.name == "gr712rc") return coordination::GlueStyle::kRtems;
-    if (platform.predictable() && platform.cores.size() == 1)
-        return coordination::GlueStyle::kSequential;
-    return coordination::GlueStyle::kPosix;
-}
-
-void attach_rta(ToolchainReport& report,
-                const platform::Platform& platform) {
-    // Rate-monotonic response-time analysis per core, when every task
-    // scheduled there is periodic.
-    for (std::size_t c = 0; c < platform.cores.size(); ++c) {
-        std::vector<coordination::PeriodicTask> periodic;
-        bool all_periodic = true;
-        for (const auto& entry : report.schedule.entries) {
-            if (entry.core != c) continue;
-            const auto* spec = report.spec.find(entry.task);
-            if (spec == nullptr || spec->period_s <= 0.0) {
-                all_periodic = false;
-                break;
-            }
-            coordination::PeriodicTask task;
-            task.name = entry.task;
-            task.wcet_s = entry.finish_s - entry.start_s;
-            task.period_s = spec->period_s;
-            task.deadline_s = spec->deadline_s;
-            periodic.push_back(std::move(task));
-        }
-        if (all_periodic && periodic.size() > 1)
-            report.rta[c] = coordination::response_time_analysis(periodic);
-    }
-}
-
-}  // namespace
 
 const compiler::TaskVersion* ToolchainReport::chosen_version(
     const std::string& task) const {
@@ -110,6 +41,26 @@ std::string ToolchainReport::summary() const {
     return os.str();
 }
 
+namespace {
+
+/// Shared body of the legacy single-scenario drivers: one caller-only
+/// engine per call, so behaviour (and bytes) match the historical
+/// sequential path exactly.
+ToolchainReport run_single(const ir::Program& program,
+                           const platform::Platform& platform,
+                           const csl::AppSpec& spec,
+                           const WorkflowOptions& options) {
+    ScenarioEngine engine;
+    ScenarioRequest request;
+    request.program = &program;
+    request.platform = &platform;
+    request.spec = spec;
+    request.options = options;
+    return engine.run(request);
+}
+
+}  // namespace
+
 PredictableWorkflow::PredictableWorkflow(const ir::Program& program,
                                          const platform::Platform& platform)
     : program_(&program), platform_(&platform) {
@@ -123,96 +74,7 @@ PredictableWorkflow::PredictableWorkflow(const ir::Program& program,
 
 ToolchainReport PredictableWorkflow::run(const csl::AppSpec& spec,
                                          const WorkflowOptions& options) {
-    ToolchainReport report;
-    report.spec = spec;
-    report.platform_name = platform_->name;
-    report.graph = spec.skeleton();
-
-    const auto reps = class_representatives(*platform_);
-
-    // Stage 1: multi-criteria compilation per (task, core class).
-    for (const auto& task_spec : spec.tasks) {
-        coordination::Task* task = report.graph.find(task_spec.name);
-        const auto classes = allowed_classes(task_spec, reps);
-        if (classes.empty())
-            throw std::runtime_error("task '" + task_spec.name +
-                                     "' fits no core class of " +
-                                     platform_->name);
-        for (const auto& cls : classes) {
-            const auto& core = platform_->cores[reps.at(cls)];
-            compiler::MultiCriteriaCompiler mcc(*program_, core);
-            auto compiler_options = options.compiler;
-            compiler_options.explore_security =
-                task_spec.security_hint == "auto";
-            auto front = mcc.optimise(task_spec.entry, compiler_options);
-
-            // A fixed security hint overrides the knob on every version.
-            if (task_spec.security_hint == "balance" ||
-                task_spec.security_hint == "ladder") {
-                const auto forced =
-                    task_spec.security_hint == "balance"
-                        ? compiler::SecurityLevel::kBalance
-                        : compiler::SecurityLevel::kLadder;
-                for (auto& version : front) {
-                    auto config = version.config;
-                    config.security = forced;
-                    version = mcc.compile(task_spec.entry, config);
-                }
-            }
-
-            TaskFront task_front;
-            task_front.task = task_spec.name;
-            task_front.core_class = cls;
-            task_front.versions = std::move(front);
-            for (const auto& version : task_front.versions) {
-                coordination::VersionChoice choice;
-                choice.time_s = version.wcet_s;
-                choice.energy_j = version.energy_dynamic_j;
-                choice.leakage = version.leakage;
-                choice.opp_index = version.config.opp_index;
-                choice.note = version.config.label();
-                task->versions[cls].push_back(choice);
-            }
-            report.fronts.push_back(std::move(task_front));
-        }
-    }
-
-    // Stage 2: coordination.
-    auto scheduler_options = options.scheduler;
-    if (scheduler_options.deadline_s <= 0.0)
-        scheduler_options.deadline_s = effective_deadline(spec);
-    const coordination::Scheduler scheduler(*platform_);
-    report.schedule = scheduler.schedule(report.graph, scheduler_options);
-    attach_rta(report, *platform_);
-
-    // Stage 3: glue code.
-    const auto style =
-        options.glue_style.value_or(default_glue_style(*platform_));
-    report.glue_code = coordination::generate_glue(
-        report.graph, report.schedule, *platform_, style);
-
-    // Stage 4: contracts on the chosen versions.
-    std::vector<contracts::ContractInput> inputs;
-    for (const auto& entry : report.schedule.entries) {
-        const auto* task_spec = spec.find(entry.task);
-        const compiler::TaskVersion* chosen_v =
-            report.chosen_version(entry.task);
-        if (task_spec == nullptr || chosen_v == nullptr) continue;
-        contracts::ContractInput input;
-        input.poi = entry.task;
-        input.function = task_spec->entry;
-        input.program = chosen_v->program.get();
-        input.core = &platform_->cores[entry.core];
-        input.opp_index = chosen_v->config.opp_index;
-        input.time_budget_s = task_spec->time_budget_s;
-        input.energy_budget_j = task_spec->energy_budget_j;
-        input.leakage_budget = task_spec->leakage_budget;
-        input.leakage_proxy = chosen_v->leakage;
-        inputs.push_back(std::move(input));
-    }
-    report.certificate =
-        contracts::check_contracts(spec.name, platform_->name, inputs);
-    return report;
+    return run_single(*program_, *platform_, spec, options);
 }
 
 ComplexWorkflow::ComplexWorkflow(const ir::Program& program,
@@ -227,93 +89,14 @@ ComplexWorkflow::ComplexWorkflow(const ir::Program& program,
 
 ToolchainReport ComplexWorkflow::run(const csl::AppSpec& spec,
                                      const WorkflowOptions& options) {
-    ToolchainReport report;
-    report.spec = spec;
-    report.platform_name = platform_->name;
-    report.graph = spec.skeleton();
-
-    // Pass 1 (solid path of Fig. 2): sequential glue + dynamic profiling of
-    // every task on every admissible (core class, DVFS point).
-    report.sequential_glue = coordination::generate_glue(
-        report.graph, {}, *platform_, coordination::GlueStyle::kSequential);
-
-    const auto reps = class_representatives(*platform_);
-    for (const auto& task_spec : spec.tasks) {
-        coordination::Task* task = report.graph.find(task_spec.name);
-        const ir::Function* entry = program_->find(task_spec.entry);
-        if (entry == nullptr)
-            throw std::runtime_error("task '" + task_spec.name +
-                                     "' entry function '" + task_spec.entry +
-                                     "' not found");
-        const auto taint = security::analyze_taint(*program_, *entry);
-        for (const auto& cls : allowed_classes(task_spec, reps)) {
-            const auto& core = platform_->cores[reps.at(cls)];
-            for (std::size_t opp = 0; opp < core.opps.size(); ++opp) {
-                profiler::PowProfiler prof(*program_, core, opp,
-                                           /*seed=*/opp * 131 + 7);
-                const auto profile = prof.profile(
-                    task_spec.entry,
-                    profiler::zero_inputs(entry->param_count),
-                    options.profile_runs);
-                coordination::VersionChoice choice;
-                choice.time_s = profile.time_s.high_water_mark();
-                choice.energy_j = profile.energy_j.mean;
-                choice.leakage = taint.leakage_proxy();
-                choice.opp_index = opp;
-                choice.note = "profiled@opp" + std::to_string(opp);
-                task->versions[cls].push_back(choice);
-            }
-        }
-    }
-
-    // Pass 2 (dashed path): energy-aware parallel schedule from estimates.
-    auto scheduler_options = options.scheduler;
-    if (scheduler_options.deadline_s <= 0.0)
-        scheduler_options.deadline_s = effective_deadline(spec);
-    const coordination::Scheduler scheduler(*platform_);
-    report.schedule = scheduler.schedule(report.graph, scheduler_options);
-    attach_rta(report, *platform_);
-
-    const auto style =
-        options.glue_style.value_or(default_glue_style(*platform_));
-    report.glue_code = coordination::generate_glue(
-        report.graph, report.schedule, *platform_, style);
-
-    // Contracts: measured evidence only.
-    std::vector<contracts::ContractInput> inputs;
-    for (const auto& entry : report.schedule.entries) {
-        const auto* task_spec = spec.find(entry.task);
-        if (task_spec == nullptr) continue;
-        const auto* task = report.graph.find(entry.task);
-        const auto* versions = task->versions_for(
-            platform_->cores[entry.core].core_class);
-        if (versions == nullptr || entry.version >= versions->size())
-            continue;
-        const auto& choice = (*versions)[entry.version];
-        contracts::ContractInput input;
-        input.poi = entry.task;
-        input.function = task_spec->entry;
-        input.measured_only = true;
-        input.measured_time_s = choice.time_s;
-        input.measured_energy_j = choice.energy_j;
-        input.time_budget_s = task_spec->time_budget_s;
-        input.energy_budget_j = task_spec->energy_budget_j;
-        input.leakage_budget = task_spec->leakage_budget;
-        input.leakage_proxy = choice.leakage;
-        inputs.push_back(std::move(input));
-    }
-    report.certificate =
-        contracts::check_contracts(spec.name, platform_->name, inputs);
-    return report;
+    return run_single(*program_, *platform_, spec, options);
 }
 
 ToolchainReport run_toolchain(const ir::Program& program,
                               const platform::Platform& platform,
                               const csl::AppSpec& spec,
                               const WorkflowOptions& options) {
-    if (platform.predictable())
-        return PredictableWorkflow(program, platform).run(spec, options);
-    return ComplexWorkflow(program, platform).run(spec, options);
+    return run_single(program, platform, spec, options);
 }
 
 }  // namespace teamplay::core

@@ -8,6 +8,11 @@
 // dynamic profiling across cores and DVFS points) -> pass 2 (energy-aware
 // parallel schedule from the measured estimates) -> contracts admitted as
 // measured evidence -> certificate flagged "contains measured evidence".
+//
+// Both drivers are thin wrappers over core::ScenarioEngine
+// (scenario_engine.hpp): the two figures are two stage configurations of
+// one pipeline.  Use the engine directly for batches, caching and
+// multi-threaded runs; these classes remain for single-scenario callers.
 #pragma once
 
 #include <map>

@@ -1,0 +1,116 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace teamplay::support {
+
+namespace {
+
+/// Join state of one parallel_for call.  Tasks from different calls share
+/// the pool queue; each task resolves against its own batch.
+struct Batch {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& thread : threads_) thread.join();
+}
+
+std::size_t ThreadPool::default_workers() {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    return hw > 1 ? hw - 1 : 0;
+}
+
+bool ThreadPool::run_one() {
+    std::function<void()> task;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty()) return false;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+    }
+    task();
+    return true;
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stop requested and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t)>& body) {
+    if (n == 0) return;
+    if (threads_.empty()) {
+        // Same contract as the pooled path: every body runs, the first
+        // exception is rethrown once the batch has drained.
+        std::exception_ptr error;
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                body(i);
+            } catch (...) {
+                if (!error) error = std::current_exception();
+            }
+        }
+        if (error) std::rethrow_exception(error);
+        return;
+    }
+
+    auto batch = std::make_shared<Batch>();
+    batch->remaining = n;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < n; ++i) {
+            // `body` outlives the batch: parallel_for only returns once
+            // every task has run, so capturing it by pointer is safe.
+            queue_.emplace_back([batch, &body, i] {
+                try {
+                    body(i);
+                } catch (...) {
+                    const std::lock_guard<std::mutex> guard(batch->mutex);
+                    if (!batch->error)
+                        batch->error = std::current_exception();
+                }
+                const std::lock_guard<std::mutex> guard(batch->mutex);
+                if (--batch->remaining == 0) batch->done_cv.notify_all();
+            });
+        }
+    }
+    work_cv_.notify_all();
+
+    // Help drain the queue (possibly including other batches' tasks), then
+    // wait for stragglers of this batch still running on workers.
+    while (run_one()) {
+    }
+    std::unique_lock<std::mutex> lock(batch->mutex);
+    batch->done_cv.wait(lock, [&batch] { return batch->remaining == 0; });
+    if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace teamplay::support

@@ -1,0 +1,61 @@
+// Fixed-size worker pool with caller participation.
+//
+// The pool exposes one primitive, `parallel_for`: run a body over an index
+// range with the calling thread working alongside the background workers.
+// Because the caller always makes progress itself, nested `parallel_for`
+// calls issued from inside a body (the ScenarioEngine runs scenarios in
+// parallel, and each scenario's AnalyseStage fans out again over
+// (task, core class, OPP) tuples) can never deadlock: at worst the nested
+// call degrades to the calling thread draining its own work.
+//
+// Determinism contract: a body must only write to state addressed by its own
+// index.  Under that discipline results are identical for any worker count,
+// which is what lets the engine promise byte-identical certificates for
+// 1 vs N threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace teamplay::support {
+
+class ThreadPool {
+public:
+    /// `workers` background threads; 0 means all work runs on the caller.
+    explicit ThreadPool(std::size_t workers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Total threads that execute work (workers + the calling thread).
+    [[nodiscard]] std::size_t concurrency() const {
+        return threads_.size() + 1;
+    }
+
+    /// Execute body(0) .. body(n-1), returning when all calls completed.
+    /// The calling thread participates.  The first exception thrown by any
+    /// body is rethrown here after the batch drains.
+    void parallel_for(std::size_t n,
+                      const std::function<void(std::size_t)>& body);
+
+    /// Sensible default worker count for batch jobs on this host.
+    [[nodiscard]] static std::size_t default_workers();
+
+private:
+    bool run_one();
+    void worker_loop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    bool stop_ = false;
+};
+
+}  // namespace teamplay::support
