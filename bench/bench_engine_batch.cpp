@@ -107,13 +107,17 @@ void print_table() {
     std::printf("speedup:           %6.2fx  (%zu threads)\n",
                 legacy_s / engine_s, stats.workers);
     std::printf("cache:             %llu hits / %llu misses (%.0f%% hit "
-                "ratio, %zu entries)\n",
+                "ratio, %llu evictions, %zu entries)\n",
                 static_cast<unsigned long long>(stats.cache.hits),
                 static_cast<unsigned long long>(stats.cache.misses),
-                100.0 * stats.cache.hit_ratio(), stats.cache.entries);
-    std::printf("certificates byte-identical to legacy: %zu/%zu %s\n\n",
+                100.0 * stats.cache.hit_ratio(),
+                static_cast<unsigned long long>(stats.cache.evictions),
+                stats.cache.entries);
+    std::printf("certificates byte-identical to legacy: %zu/%zu %s\n",
                 identical, reports.size(),
                 identical == reports.size() ? "(OK)" : "(MISMATCH!)");
+    std::printf("per-stage telemetry (engine path):\n%s\n",
+                stats.stage_telemetry.to_string().c_str());
 }
 
 void BM_EngineBatch(benchmark::State& state) {

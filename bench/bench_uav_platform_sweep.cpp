@@ -1,0 +1,182 @@
+// Experiment E2: UAV use case across platform variants x DVFS OPP sweeps,
+// driven through the engine's streaming submission API.
+//
+// The UAV search-and-rescue application runs on three embedded platforms
+// (Apalis TK1, Jetson TX2, Jetson Nano); for each platform the bench sweeps
+// a DVFS governor cap that truncates every core's OPP table to its lowest
+// k operating points (k = 1, 2, full) — the ΔELTA-style question: how do
+// the certified time/energy bounds and the toolchain's own cost move as
+// the frequency range narrows?  Each (platform, cap) variant is one
+// scenario submitted via `ScenarioEngine::submit`; completion callbacks
+// consume certificates in completion order, and per-stage telemetry
+// attributes where the pipeline spends its time (profiling campaigns
+// shrink with the OPP count; scheduling does not).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/scenario_engine.hpp"
+#include "usecases/apps.hpp"
+
+using namespace teamplay;
+using namespace teamplay::usecases;
+
+namespace {
+
+constexpr const char* kPlatforms[] = {"apalis-tk1", "jetson-tx2",
+                                      "jetson-nano"};
+constexpr std::size_t kOppCaps[] = {1, 2, 0};  ///< 0 = full table
+
+/// Truncate every core's OPP table to its lowest `cap` points (a DVFS
+/// governor ceiling).  cap == 0 leaves the platform untouched.
+platform::Platform cap_opps(platform::Platform platform, std::size_t cap) {
+    if (cap == 0) return platform;
+    for (auto& core : platform.cores)
+        core.opps.resize(std::min(cap, core.opps.size()));
+    return platform;
+}
+
+std::string variant_label(const std::string& platform, std::size_t cap) {
+    return platform + (cap == 0 ? "/opp-full"
+                                : "/opp-cap" + std::to_string(cap));
+}
+
+struct Sweep {
+    std::vector<UseCaseApp> apps;  ///< owns programs/platforms
+    std::vector<core::ScenarioRequest> requests;
+};
+
+Sweep make_sweep() {
+    Sweep sweep;
+    for (const char* platform_name : kPlatforms) {
+        for (const std::size_t cap : kOppCaps) {
+            auto app = make_uav_app(platform_name);
+            app.platform = cap_opps(std::move(app.platform), cap);
+            app.name = variant_label(platform_name, cap);
+            sweep.apps.push_back(std::move(app));
+        }
+    }
+    for (const auto& app : sweep.apps) {
+        core::ScenarioRequest request;
+        request.program = &app.program;
+        request.platform = &app.platform;
+        request.csl_source = app.csl_source;
+        request.options.profile_runs = 10;
+        request.options.scheduler.anneal_iterations = 120;
+        request.label = app.name;
+        sweep.requests.push_back(std::move(request));
+    }
+    return sweep;
+}
+
+void print_table() {
+    const auto sweep = make_sweep();
+    std::printf("=== E2: UAV platform x DVFS sweep, %zu variants ===\n",
+                sweep.requests.size());
+
+    core::ScenarioEngine engine({.worker_threads = 4});
+    std::mutex io_mutex;
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<core::ScenarioTicket> tickets;
+    tickets.reserve(sweep.requests.size());
+    for (const auto& request : sweep.requests) {
+        tickets.push_back(engine.submit(
+            request, [&io_mutex](const core::ScenarioOutcome& outcome) {
+                // Streamed consumption: certificates surface per scenario,
+                // in completion order, while the rest of the sweep runs.
+                const std::lock_guard<std::mutex> lock(io_mutex);
+                if (outcome.report == nullptr) {
+                    std::printf("%-24s FAILED\n", outcome.label.c_str());
+                    return;
+                }
+                const auto& report = *outcome.report;
+                std::printf(
+                    "%-24s makespan %8.3f ms  energy %8.3f mJ  cert %s\n",
+                    outcome.label.c_str(), 1e3 * report.schedule.makespan_s,
+                    1e3 * report.schedule.dynamic_energy_j(),
+                    report.certificate.all_hold() ? "VALID" : "INVALID");
+            }));
+    }
+    for (auto& ticket : tickets) ticket.wait();
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+
+    const auto cache = engine.cache_stats();
+    std::printf("sweep: %zu scenarios in %.3f s (%.2f scenarios/s, "
+                "%zu threads; cache: %llu hits / %llu misses)\n",
+                sweep.requests.size(), wall_s,
+                static_cast<double>(sweep.requests.size()) / wall_s,
+                engine.concurrency(),
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses));
+    std::printf("per-stage telemetry:\n%s\n",
+                engine.stage_telemetry().to_string().c_str());
+}
+
+void BM_UavPlatformSweep(benchmark::State& state) {
+    const auto sweep = make_sweep();
+    const auto workers = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        core::ScenarioEngine engine({.worker_threads = workers});
+        std::vector<core::ScenarioTicket> tickets;
+        tickets.reserve(sweep.requests.size());
+        for (const auto& request : sweep.requests)
+            tickets.push_back(engine.submit(request));
+        for (auto& ticket : tickets)
+            benchmark::DoNotOptimize(ticket.get());
+    }
+    state.counters["scenarios/s"] = benchmark::Counter(
+        static_cast<double>(sweep.requests.size() * state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_UavPlatformSweep)
+    ->Arg(0)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// Same sweep on a warm engine with a tight cache budget: the service
+/// configuration (bounded memory, shared results where the budget allows).
+void BM_UavPlatformSweepBounded(benchmark::State& state) {
+    const auto sweep = make_sweep();
+    core::ScenarioEngine engine(
+        {.worker_threads = 4,
+         .cache_budget = {.max_entries =
+                              static_cast<std::size_t>(state.range(0))}});
+    for (auto _ : state) {
+        std::vector<core::ScenarioTicket> tickets;
+        tickets.reserve(sweep.requests.size());
+        for (const auto& request : sweep.requests)
+            tickets.push_back(engine.submit(request));
+        for (auto& ticket : tickets)
+            benchmark::DoNotOptimize(ticket.get());
+    }
+    const auto cache = engine.cache_stats();
+    state.counters["evictions"] =
+        static_cast<double>(cache.evictions) /
+        static_cast<double>(state.iterations());
+    state.counters["scenarios/s"] = benchmark::Counter(
+        static_cast<double>(sweep.requests.size() * state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_UavPlatformSweepBounded)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

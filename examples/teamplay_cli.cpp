@@ -5,15 +5,22 @@
 // built-in use case runs as one parallel batch and the engine's throughput
 // statistics are reported.
 //
+// With `--stream`, scenarios are submitted through the engine's async
+// `submit` API and a completion line is printed the moment each scenario
+// finishes (completion order, not request order) — the service-core view.
+//
 //   $ ./example_teamplay_cli pill
 //   $ ./example_teamplay_cli space --makespan
 //   $ ./example_teamplay_cli uav --platform jetson-tx2
 //   $ ./example_teamplay_cli parking --csl my_budgets.csl
 //   $ ./example_teamplay_cli --all --jobs 4 --quiet
+//   $ ./example_teamplay_cli --all --jobs 4 --stream --cache-budget 16
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <vector>
 
@@ -35,6 +42,10 @@ void usage() {
         "  --makespan          schedule for makespan instead of energy\n"
         "  --seed <n>          search seed (default 42)\n"
         "  --jobs <n>          engine worker threads (default 0 = caller)\n"
+        "  --stream            submit scenarios asynchronously and print\n"
+        "                      each result as it completes\n"
+        "  --cache-budget <n>  evict evaluation-cache entries beyond n\n"
+        "                      (default 0 = unbounded)\n"
         "  --quiet             only print the certificate verdict");
 }
 
@@ -72,8 +83,10 @@ int main(int argc, char** argv) {
     std::string csl_path;
     bool makespan = false;
     bool quiet = false;
+    bool stream = false;
     std::uint64_t seed = 42;
     std::size_t jobs = 0;
+    std::size_t cache_budget = 0;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--platform" && i + 1 < argc) {
@@ -84,10 +97,14 @@ int main(int argc, char** argv) {
             makespan = true;
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--stream") {
+            stream = true;
         } else if (arg == "--seed" && i + 1 < argc) {
             seed = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--jobs" && i + 1 < argc) {
             jobs = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--cache-budget" && i + 1 < argc) {
+            cache_budget = std::strtoull(argv[++i], nullptr, 10);
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             usage();
@@ -163,7 +180,68 @@ int main(int argc, char** argv) {
             requests.push_back(std::move(request));
         }
 
-        core::ScenarioEngine engine({.worker_threads = jobs});
+        core::ScenarioEngine engine(
+            {.worker_threads = jobs,
+             .cache_budget = {.max_entries = cache_budget}});
+
+        if (stream) {
+            // Service-core view: consume results in completion order via
+            // the async submission path, then report batch telemetry.
+            std::mutex io_mutex;
+            std::size_t completed = 0;
+            bool all_ok = true;
+            const auto start = std::chrono::steady_clock::now();
+            std::vector<core::ScenarioTicket> tickets;
+            tickets.reserve(requests.size());
+            for (auto& request : requests) {
+                tickets.push_back(engine.submit(
+                    request, [&](const core::ScenarioOutcome& outcome) {
+                        const std::lock_guard<std::mutex> lock(io_mutex);
+                        ++completed;
+                        if (outcome.report != nullptr) {
+                            const bool ok =
+                                outcome.report->certificate.all_hold() &&
+                                contracts::verify_certificate(
+                                    outcome.report->certificate);
+                            all_ok = ok && all_ok;
+                            std::printf(
+                                "[%zu/%zu] %s: certificate %s (%s)\n",
+                                completed, requests.size(),
+                                outcome.label.c_str(),
+                                ok ? "VALID" : "INVALID",
+                                outcome.report->certificate.fully_static()
+                                    ? "statically proven"
+                                    : "contains measured evidence");
+                        } else {
+                            all_ok = false;
+                            std::printf("[%zu/%zu] %s: %s\n", completed,
+                                        requests.size(),
+                                        outcome.label.c_str(),
+                                        outcome.cancelled ? "cancelled"
+                                                          : "failed");
+                        }
+                    }));
+            }
+            for (auto& ticket : tickets) ticket.wait();
+            const double wall_s =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            const auto cache = engine.cache_stats();
+            std::printf(
+                "stream: %zu scenarios in %.3f s (%zu threads; cache: "
+                "%llu hits / %llu misses, %llu evictions, %zu entries)\n",
+                requests.size(), wall_s, engine.concurrency(),
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                static_cast<unsigned long long>(cache.evictions),
+                cache.entries);
+            if (!quiet)
+                std::printf("--- per-stage telemetry ---\n%s",
+                            engine.stage_telemetry().to_string().c_str());
+            return all_ok ? 0 : 1;
+        }
+
         core::BatchStats stats;
         const auto reports = engine.run_all(requests, &stats);
 
@@ -174,6 +252,9 @@ int main(int argc, char** argv) {
                 all_ok;
         if (reports.size() > 1)
             std::printf("batch: %s\n", stats.to_string().c_str());
+        if (!quiet)
+            std::printf("--- per-stage telemetry ---\n%s",
+                        stats.stage_telemetry.to_string().c_str());
         return all_ok ? 0 : 1;
     } catch (const std::exception& error) {
         std::fprintf(stderr, "error: %s\n", error.what());

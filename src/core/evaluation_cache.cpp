@@ -41,6 +41,12 @@ Fingerprint& Fingerprint::mix(std::string_view text) {
     return mix(static_cast<std::uint64_t>(text.size()));
 }
 
+double evaluation_result_cost(const EvaluationResult& result) {
+    double cost = 1.0;
+    if (result.front) cost += static_cast<double>(result.front->size());
+    return cost;
+}
+
 std::shared_ptr<const EvaluationResult> EvaluationCache::lookup(
     const EvaluationKey& key, const Compute& compute) {
     std::promise<std::shared_ptr<const EvaluationResult>> promise;
@@ -50,19 +56,27 @@ std::shared_ptr<const EvaluationResult> EvaluationCache::lookup(
         const std::lock_guard<std::mutex> lock(mutex_);
         const auto it = entries_.find(key);
         if (it != entries_.end()) {
-            hits_.fetch_add(1, std::memory_order_relaxed);
-            slot = it->second;
+            ++hits_;
+            // Refresh recency; an in-flight entry is not on the LRU list
+            // yet (it joins the hot end when its compute completes).
+            if (it->second.ready)
+                lru_.splice(lru_.begin(), lru_, it->second.lru);
+            slot = it->second.slot;
         } else {
-            misses_.fetch_add(1, std::memory_order_relaxed);
+            ++misses_;
             slot = promise.get_future().share();
-            entries_.emplace(key, slot);
+            Entry entry;
+            entry.slot = slot;
+            entries_.emplace(key, std::move(entry));
             owner = true;
         }
     }
     if (owner) {
         try {
-            promise.set_value(
-                std::make_shared<const EvaluationResult>(compute()));
+            auto value = std::make_shared<const EvaluationResult>(compute());
+            const double cost = evaluation_result_cost(*value);
+            promise.set_value(std::move(value));
+            admit(key, cost);
         } catch (...) {
             // Propagate to every waiter but drop the key so a later call
             // can retry (e.g. after the caller fixes its inputs).
@@ -76,18 +90,59 @@ std::shared_ptr<const EvaluationResult> EvaluationCache::lookup(
     return slot.get();
 }
 
-EvaluationCache::Stats EvaluationCache::stats() const {
-    Stats stats;
-    stats.hits = hits_.load(std::memory_order_relaxed);
-    stats.misses = misses_.load(std::memory_order_relaxed);
+void EvaluationCache::admit(const EvaluationKey& key, double cost) {
     const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    // Unreachable today — only the owner erases its own key (exception
+    // path), clear() preserves in-flight entries, and eviction only
+    // touches completed ones — kept as a guard so a future policy that
+    // does drop in-flight slots degrades to "uncached", not to a
+    // double-published LRU entry.
+    if (it == entries_.end()) return;
+    it->second.ready = true;
+    it->second.cost = cost;
+    lru_.push_front(key);
+    it->second.lru = lru_.begin();
+    resident_cost_ += cost;
+    evict_over_budget_locked();
+}
+
+void EvaluationCache::evict_over_budget_locked() {
+    while (!lru_.empty() &&
+           ((budget_.max_entries > 0 && lru_.size() > budget_.max_entries) ||
+            (budget_.max_cost > 0.0 && resident_cost_ > budget_.max_cost))) {
+        const auto victim = entries_.find(lru_.back());
+        resident_cost_ -= victim->second.cost;
+        entries_.erase(victim);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+EvaluationCache::Stats EvaluationCache::stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Stats stats;
+    stats.hits = hits_;
+    stats.misses = misses_;
+    stats.evictions = evictions_;
     stats.entries = entries_.size();
+    stats.resident_cost = resident_cost_;
     return stats;
 }
 
 void EvaluationCache::clear() {
     const std::lock_guard<std::mutex> lock(mutex_);
-    entries_.clear();
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second.ready)
+            it = entries_.erase(it);
+        else
+            ++it;  // in-flight: owner still computing, waiters still queued
+    }
+    lru_.clear();
+    resident_cost_ = 0.0;
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
 }
 
 }  // namespace teamplay::core

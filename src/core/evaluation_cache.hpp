@@ -13,12 +13,23 @@
 // worker pool hammering the same key does the work once and all observers
 // see one identical result (a prerequisite for the engine's determinism
 // guarantee).
+//
+// Bounding: a long-lived service cannot let the cache grow without limit.
+// An optional `Budget` (max resident entries and/or max resident cost)
+// turns the cache into an LRU: completed entries are kept on a recency
+// list, a hit refreshes recency, and admission evicts from the cold end
+// until the budget holds again.  In-flight slots (compute still running)
+// are *never* evicted — eviction only considers completed entries — so
+// single-flight semantics survive any budget, including one smaller than a
+// single entry (which simply makes that entry uncached after its waiters
+// are served).  Eviction changes only *when* a value is recomputed, never
+// the value: results stay byte-identical under any budget.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -74,20 +85,46 @@ struct EvaluationResult {
     double leakage = 0.0;
 };
 
+/// Relative retention weight of a result: 1 for a scalar entry plus 1 per
+/// compiled version held (each TaskVersion owns a transformed program
+/// clone, the dominant memory of the cache).
+[[nodiscard]] double evaluation_result_cost(const EvaluationResult& result);
+
 class EvaluationCache {
 public:
     using Compute = std::function<EvaluationResult()>;
 
-    /// Return the result for `key`, invoking `compute` exactly once per key
-    /// across all threads.  A compute that throws propagates to every
-    /// waiter and leaves the key uncached so it can be retried.
+    /// Retention budget; 0 means unbounded on that axis.  `max_entries`
+    /// bounds completed resident entries, `max_cost` bounds their summed
+    /// `evaluation_result_cost`.
+    struct Budget {
+        std::size_t max_entries = 0;
+        double max_cost = 0.0;
+
+        [[nodiscard]] bool bounded() const {
+            return max_entries > 0 || max_cost > 0.0;
+        }
+    };
+
+    EvaluationCache() = default;
+    explicit EvaluationCache(Budget budget) : budget_(budget) {}
+
+    /// Return the result for `key`, invoking `compute` exactly once per
+    /// *resident generation* of the key across all threads (an evicted key
+    /// recomputes on its next lookup).  A compute that throws propagates to
+    /// every waiter and leaves the key uncached so it can be retried.
     [[nodiscard]] std::shared_ptr<const EvaluationResult> lookup(
         const EvaluationKey& key, const Compute& compute);
 
+    /// One consistent snapshot: every field is read under the same lock, so
+    /// `entries` is the live entry count at the moment `hits`/`misses`/
+    /// `evictions` were sampled (no stale mixtures).
     struct Stats {
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
-        std::size_t entries = 0;
+        std::uint64_t evictions = 0;   ///< entries dropped to hold the budget
+        std::size_t entries = 0;       ///< live entries (incl. in-flight)
+        double resident_cost = 0.0;    ///< summed cost of completed entries
 
         [[nodiscard]] double hit_ratio() const {
             const auto total = hits + misses;
@@ -98,15 +135,37 @@ public:
     };
 
     [[nodiscard]] Stats stats() const;
+    [[nodiscard]] Budget budget() const { return budget_; }
+
+    /// Drop every completed entry and reset all counters (hits, misses,
+    /// evictions) to zero — documented behaviour, relied on by callers that
+    /// reuse one engine across measurement phases.  In-flight slots are
+    /// left untouched so concurrent waiters still observe single-flight.
     void clear();
 
 private:
     using Slot = std::shared_future<std::shared_ptr<const EvaluationResult>>;
 
+    struct Entry {
+        Slot slot;
+        double cost = 0.0;
+        bool ready = false;                       ///< compute finished
+        std::list<EvaluationKey>::iterator lru{}; ///< valid iff ready
+    };
+
+    /// Mark `key` completed, put it at the hot end of the LRU list, and
+    /// evict cold completed entries until the budget holds.
+    void admit(const EvaluationKey& key, double cost);
+    void evict_over_budget_locked();
+
+    Budget budget_;
     mutable std::mutex mutex_;
-    std::map<EvaluationKey, Slot> entries_;
-    std::atomic<std::uint64_t> hits_{0};
-    std::atomic<std::uint64_t> misses_{0};
+    std::map<EvaluationKey, Entry> entries_;
+    std::list<EvaluationKey> lru_;  ///< completed keys, hot front, cold back
+    double resident_cost_ = 0.0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
 };
 
 }  // namespace teamplay::core

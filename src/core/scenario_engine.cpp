@@ -1,31 +1,115 @@
 #include "core/scenario_engine.hpp"
 
 #include <chrono>
+#include <condition_variable>
 #include <sstream>
-#include <stdexcept>
+#include <utility>
 
 #include "core/stages.hpp"
 
 namespace teamplay::core {
 
+namespace detail {
+
+/// Shared state behind one ScenarioTicket: the owned request, the
+/// cancellation token, and the completion rendezvous (mutex/cv for
+/// blocking waiters, an atomic for cheap polling).
+struct TicketState {
+    std::size_t id = 0;
+    ScenarioRequest request;
+    support::ThreadPool* pool = nullptr;
+    ScenarioEngine::Completion on_complete;
+
+    std::atomic<bool> cancel{false};
+    std::atomic<bool> started{false};   ///< execution began on some thread
+    std::atomic<bool> finished{false};
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    bool cancelled = false;
+    bool retrieved = false;
+    ToolchainReport report;
+    std::exception_ptr error;
+};
+
+}  // namespace detail
+
+// -- ScenarioTicket -----------------------------------------------------------
+
+std::size_t ScenarioTicket::id() const { return state_->id; }
+
+bool ScenarioTicket::done() const {
+    return state_->finished.load(std::memory_order_acquire);
+}
+
+void ScenarioTicket::wait() const {
+    auto& state = *state_;
+    // Help drain the pool while our own task is still queued: with zero
+    // workers this is what executes the scenario (in submission order), and
+    // with workers it keeps the waiting thread productive instead of idle.
+    // Once the task is running on another thread we stop picking up foreign
+    // work — otherwise waiting on an early ticket could commit this thread
+    // to a later submission's whole scenario and inflate the early ticket's
+    // observed latency far past its actual completion.
+    while (!state.finished.load(std::memory_order_acquire)) {
+        if (state.started.load(std::memory_order_acquire)) break;
+        if (!state.pool->try_run_one()) break;
+    }
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.cv.wait(lock, [&state] { return state.done; });
+}
+
+ToolchainReport ScenarioTicket::get() {
+    wait();
+    auto& state = *state_;
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    if (state.error) std::rethrow_exception(state.error);
+    if (state.retrieved)
+        throw std::logic_error("ScenarioTicket::get() is single-shot");
+    state.retrieved = true;
+    return std::move(state.report);
+}
+
+void ScenarioTicket::cancel() {
+    state_->cancel.store(true, std::memory_order_relaxed);
+}
+
+bool ScenarioTicket::cancel_requested() const {
+    return state_->cancel.load(std::memory_order_relaxed);
+}
+
+// -- BatchStats ---------------------------------------------------------------
+
 std::string BatchStats::to_string() const {
     std::ostringstream os;
     os << scenarios << " scenarios in " << wall_s << " s (" << scenarios_per_s
        << " scenarios/s, " << workers << " threads; cache: " << cache.hits
-       << " hits / " << cache.misses << " misses, " << cache.entries
-       << " entries)";
+       << " hits / " << cache.misses << " misses, " << cache.evictions
+       << " evictions, " << cache.entries << " entries)";
     return os.str();
 }
 
-ScenarioEngine::ScenarioEngine(Options options)
-    : pool_(options.worker_threads),
-      predictable_stages_(predictable_stage_configuration()),
-      complex_stages_(complex_stage_configuration()) {}
+// -- ScenarioEngine -----------------------------------------------------------
 
-ScenarioEngine::~ScenarioEngine() = default;
+ScenarioEngine::ScenarioEngine(Options options)
+    : cache_(options.cache_budget),
+      predictable_stages_(predictable_stage_configuration()),
+      complex_stages_(complex_stage_configuration()),
+      pool_(options.worker_threads) {}
+
+ScenarioEngine::~ScenarioEngine() {
+    // Outstanding submissions run to completion before the members they
+    // dereference go away: a caller-only engine drains them here, and a
+    // worker pool finishes the rest inside ~ThreadPool — which runs first
+    // (pool_ is the last-declared member) and joins every worker while the
+    // stages, cache and telemetry are still alive.  Cancelled tickets exit
+    // at their first stage boundary.
+    while (pool_.try_run_one()) {
+    }
+}
 
 ToolchainReport ScenarioEngine::run_scenario(
-    const ScenarioRequest& request) {
+    const ScenarioRequest& request, const std::atomic<bool>* cancelled) {
     if (request.program == nullptr || request.platform == nullptr)
         throw std::invalid_argument(
             "ScenarioRequest requires a program and a platform");
@@ -37,6 +121,7 @@ ToolchainReport ScenarioEngine::run_scenario(
     context.options = request.options;
     context.cache = &cache_;
     context.pool = &pool_;
+    context.cancelled = cancelled;
     {
         const std::lock_guard<std::mutex> lock(validated_mutex_);
         context.program_validated =
@@ -46,7 +131,21 @@ ToolchainReport ScenarioEngine::run_scenario(
     const auto& stages = request.platform->predictable()
                              ? predictable_stages_
                              : complex_stages_;
-    for (const auto& stage : stages) stage->run(context);
+    for (const auto& stage : stages) {
+        // Cooperative cancellation, checked at every stage boundary: work
+        // already handed to the cache completes (single-flight slots are
+        // never abandoned), so a cancelled request stays retryable.
+        if (cancelled != nullptr &&
+            cancelled->load(std::memory_order_relaxed))
+            throw CancelledError(request.label);
+        const auto lap_start = std::chrono::steady_clock::now();
+        stage->run(context);
+        context.report.stage_laps.push_back(
+            {std::string(stage->name()),
+             std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           lap_start)
+                 .count()});
+    }
     // Record only after the pipeline (and thus ParseStage's validation)
     // succeeded, so an invalid program is re-validated — and re-rejected —
     // on every attempt.
@@ -54,11 +153,67 @@ ToolchainReport ScenarioEngine::run_scenario(
         const std::lock_guard<std::mutex> lock(validated_mutex_);
         validated_programs_.insert(context.program_fp);
     }
+    {
+        const std::lock_guard<std::mutex> lock(telemetry_mutex_);
+        telemetry_.merge(context.report.stage_laps);
+    }
     return std::move(context.report);
 }
 
+void ScenarioEngine::execute(detail::TicketState& state) {
+    state.started.store(true, std::memory_order_release);
+    ToolchainReport report;
+    std::exception_ptr error;
+    bool cancelled = false;
+    try {
+        report = run_scenario(state.request, &state.cancel);
+    } catch (const CancelledError&) {
+        cancelled = true;
+        error = std::current_exception();
+    } catch (...) {
+        error = std::current_exception();
+    }
+
+    if (state.on_complete) {
+        ScenarioOutcome outcome;
+        outcome.id = state.id;
+        outcome.label = state.request.label;
+        outcome.report = error ? nullptr : &report;
+        outcome.error = error;
+        outcome.cancelled = cancelled;
+        try {
+            state.on_complete(outcome);
+        } catch (...) {
+            if (!error) error = std::current_exception();
+        }
+    }
+
+    {
+        const std::lock_guard<std::mutex> lock(state.mutex);
+        state.report = std::move(report);
+        state.error = error;
+        state.cancelled = cancelled;
+        state.done = true;
+    }
+    state.finished.store(true, std::memory_order_release);
+    state.cv.notify_all();
+}
+
+ScenarioTicket ScenarioEngine::submit(ScenarioRequest request,
+                                      Completion on_complete) {
+    auto state = std::make_shared<detail::TicketState>();
+    state->id = next_ticket_id_.fetch_add(1, std::memory_order_relaxed);
+    state->request = std::move(request);
+    state->pool = &pool_;
+    state->on_complete = std::move(on_complete);
+    // The task owns a reference to the state, so a caller that drops its
+    // ticket (fire-and-forget with a completion callback) is safe.
+    pool_.submit([this, state] { execute(*state); });
+    return ScenarioTicket(std::move(state));
+}
+
 ToolchainReport ScenarioEngine::run(const ScenarioRequest& request) {
-    return run_scenario(request);
+    return submit(request).get();
 }
 
 std::vector<ToolchainReport> ScenarioEngine::run_all(
@@ -66,10 +221,19 @@ std::vector<ToolchainReport> ScenarioEngine::run_all(
     const auto before = cache_.stats();
     const auto start = std::chrono::steady_clock::now();
 
+    std::vector<ScenarioTicket> tickets;
+    tickets.reserve(requests.size());
+    for (const auto& request : requests) tickets.push_back(submit(request));
+
     std::vector<ToolchainReport> reports(requests.size());
-    pool_.parallel_for(requests.size(), [&](std::size_t i) {
-        reports[i] = run_scenario(requests[i]);
-    });
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+        try {
+            reports[i] = tickets[i].get();
+        } catch (...) {
+            if (!first_error) first_error = std::current_exception();
+        }
+    }
 
     if (stats != nullptr) {
         const auto after = cache_.stats();
@@ -84,9 +248,21 @@ std::vector<ToolchainReport> ScenarioEngine::run_all(
                 : 0.0;
         stats->cache.hits = after.hits - before.hits;
         stats->cache.misses = after.misses - before.misses;
+        stats->cache.evictions = after.evictions - before.evictions;
         stats->cache.entries = after.entries;
+        stats->cache.resident_cost = after.resident_cost;
+        // Merge in request order: deterministic, and identical in shape to
+        // what a streamed consumer would aggregate from its callbacks.
+        for (const auto& report : reports)
+            stats->stage_telemetry.merge(report.stage_laps);
     }
+    if (first_error) std::rethrow_exception(first_error);
     return reports;
+}
+
+StageTelemetry ScenarioEngine::stage_telemetry() const {
+    const std::lock_guard<std::mutex> lock(telemetry_mutex_);
+    return telemetry_;
 }
 
 }  // namespace teamplay::core

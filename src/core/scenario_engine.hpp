@@ -1,5 +1,5 @@
 // Staged, parallel scenario engine: the single driver behind both toolchain
-// flows of the paper.
+// flows of the paper, structured as an async streaming service core.
 //
 // A scenario is one (application program, platform, CSL spec, options)
 // tuple.  The engine runs it through a fixed pipeline of composable stages
@@ -9,34 +9,51 @@
 // static-analysis AnalyseStage/ContractStage versus a profiling one — not
 // two code paths.
 //
+// Submission model (DESIGN.md §7): `submit(request)` enqueues one scenario
+// and returns a ScenarioTicket immediately — a per-scenario future with
+// cooperative cancellation (checked at every stage boundary) and an
+// optional completion callback, so a service consumes results as they
+// finish instead of waiting for a whole batch to drain.  `run` and
+// `run_all` are thin wrappers over submission; the legacy workflow
+// drivers, the CLI and the benches all ride the same path.
+//
 // Scale machinery:
 //   * an EvaluationCache memoises every per-(task entry, core class, OPP)
-//     analyser/profiler result, shared across stages and scenarios;
+//     analyser/profiler result, shared across stages and scenarios, with
+//     an optional LRU budget for long-lived service use;
 //   * a support::ThreadPool evaluates independent tuples concurrently and
-//     runs whole scenarios of a batch in parallel (`run_all`).
+//     runs whole scenarios in parallel (streamed or batched);
+//   * every Stage::run is wrapped in a monotonic lap timer; laps aggregate
+//     into StageTelemetry (per-stage count/total/max) in BatchStats and
+//     per report, so a regression in one stage is attributable.
 //
 // Determinism: every parallel unit is seeded from its own key and writes to
 // its own slot, so reports — including certificate bytes — are identical
-// for any worker count, and identical to the legacy single-scenario
-// workflow drivers (which are now thin wrappers over this engine).
+// for any worker count, any cache budget, streamed or batched, and
+// identical to the legacy single-scenario workflow drivers (which are now
+// thin wrappers over this engine).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/evaluation_cache.hpp"
+#include "core/stage_telemetry.hpp"
 #include "core/workflow.hpp"
 #include "support/thread_pool.hpp"
 
 namespace teamplay::core {
 
 class Stage;
+class ScenarioEngine;
 
 /// One toolchain invocation to execute.
 struct ScenarioRequest {
@@ -48,15 +65,76 @@ struct ScenarioRequest {
     std::string label;                         ///< free-form tag for reports
 };
 
+/// Thrown out of a scenario whose ticket was cancelled; surfaces through
+/// `ScenarioTicket::get` and completion callbacks, never caches anything.
+class CancelledError : public std::runtime_error {
+public:
+    explicit CancelledError(const std::string& label)
+        : std::runtime_error("scenario cancelled" +
+                             (label.empty() ? "" : ": " + label)) {}
+};
+
 /// Aggregate throughput statistics of one `run_all` batch.
 struct BatchStats {
     std::size_t scenarios = 0;
     std::size_t workers = 0;          ///< pool concurrency during the batch
     double wall_s = 0.0;
     double scenarios_per_s = 0.0;
-    EvaluationCache::Stats cache;     ///< hits/misses incurred by this batch
+    EvaluationCache::Stats cache;     ///< hits/misses/evictions of this batch
+    StageTelemetry stage_telemetry;   ///< per-stage count/total/max
 
     [[nodiscard]] std::string to_string() const;
+};
+
+namespace detail {
+struct TicketState;
+}  // namespace detail
+
+/// What a completion callback observes for one finished scenario.
+struct ScenarioOutcome {
+    std::size_t id = 0;               ///< submission id (monotonic)
+    std::string label;                ///< request label
+    const ToolchainReport* report = nullptr;  ///< null on error/cancellation
+    std::exception_ptr error;         ///< set on failure (incl. cancellation)
+    bool cancelled = false;
+};
+
+/// Per-scenario future handle returned by `ScenarioEngine::submit`.
+///
+/// Tickets are cheap shared handles (copyable); they must not outlive the
+/// engine that issued them.  `wait`/`get` let the calling thread help drain
+/// the pool queue, so a caller-only engine still executes everything on the
+/// waiting thread — and waiting on the first submitted ticket never blocks
+/// behind later submissions.
+class ScenarioTicket {
+public:
+    ScenarioTicket() = default;
+
+    [[nodiscard]] bool valid() const { return state_ != nullptr; }
+    [[nodiscard]] std::size_t id() const;
+
+    /// Non-blocking: has the scenario finished (successfully or not)?
+    [[nodiscard]] bool done() const;
+
+    /// Block until the scenario finished, helping to drain the pool.
+    void wait() const;
+
+    /// Wait, then move the report out; rethrows the scenario's error
+    /// (CancelledError for a cancelled ticket).  Single-shot.
+    [[nodiscard]] ToolchainReport get();
+
+    /// Request cooperative cancellation: the scenario stops at the next
+    /// stage boundary (or never starts).  In-flight cache computes finish
+    /// normally, so the cache stays consistent and the request retryable.
+    void cancel();
+    [[nodiscard]] bool cancel_requested() const;
+
+private:
+    friend class ScenarioEngine;
+    explicit ScenarioTicket(std::shared_ptr<detail::TicketState> state)
+        : state_(std::move(state)) {}
+
+    std::shared_ptr<detail::TicketState> state_;
 };
 
 class ScenarioEngine {
@@ -64,7 +142,15 @@ public:
     struct Options {
         /// Extra worker threads; 0 = run everything on the calling thread.
         std::size_t worker_threads = 0;
+        /// Evaluation-cache retention budget; default unbounded (batch
+        /// mode).  A long-lived service should set one.
+        EvaluationCache::Budget cache_budget;
     };
+
+    /// Invoked on the executing thread right after a scenario finishes,
+    /// before its ticket unblocks.  Must be fast and thread-safe; a throw
+    /// is recorded as the scenario's error.
+    using Completion = std::function<void(const ScenarioOutcome&)>;
 
     // Not a default argument: GCC rejects `Options{}` defaults for nested
     // aggregates with member initializers inside the enclosing class.
@@ -75,14 +161,20 @@ public:
     ScenarioEngine(const ScenarioEngine&) = delete;
     ScenarioEngine& operator=(const ScenarioEngine&) = delete;
 
-    /// Execute one scenario through the stage configuration matching the
-    /// platform's architecture class.
+    /// Enqueue one scenario and return immediately.  The request is copied;
+    /// the program and platform it points to must stay alive until the
+    /// ticket completes.  Results become available per scenario — before
+    /// any other submission drains.
+    [[nodiscard]] ScenarioTicket submit(ScenarioRequest request,
+                                        Completion on_complete = {});
+
+    /// Execute one scenario synchronously (wrapper over `submit`).
     [[nodiscard]] ToolchainReport run(const ScenarioRequest& request);
 
-    /// Execute a batch of scenarios in parallel (scenario-level parallelism
-    /// on top of per-stage tuple parallelism; both draw on the same pool).
-    /// Reports come back in request order.  The first scenario error is
-    /// rethrown after the batch drains.
+    /// Execute a batch of scenarios in parallel (wrapper over `submit`:
+    /// scenario-level parallelism on top of per-stage tuple parallelism;
+    /// both draw on the same pool).  Reports come back in request order.
+    /// The first scenario error is rethrown after the batch drains.
     [[nodiscard]] std::vector<ToolchainReport> run_all(
         std::span<const ScenarioRequest> requests,
         BatchStats* stats = nullptr);
@@ -92,6 +184,10 @@ public:
     }
     void clear_cache() { cache_.clear(); }
 
+    /// Cumulative per-stage telemetry across every scenario this engine
+    /// completed (streamed and batched).
+    [[nodiscard]] StageTelemetry stage_telemetry() const;
+
     /// Threads that execute work (workers + caller).
     [[nodiscard]] std::size_t concurrency() const {
         return pool_.concurrency();
@@ -99,16 +195,23 @@ public:
 
 private:
     [[nodiscard]] ToolchainReport run_scenario(
-        const ScenarioRequest& request);
+        const ScenarioRequest& request, const std::atomic<bool>* cancelled);
+    void execute(detail::TicketState& state);
 
     EvaluationCache cache_;
-    support::ThreadPool pool_;
     /// Content fingerprints of programs already validated by this engine
     /// (validation is idempotent per program content; skip repeats).
     std::mutex validated_mutex_;
     std::set<std::uint64_t> validated_programs_;
+    mutable std::mutex telemetry_mutex_;
+    StageTelemetry telemetry_;
+    std::atomic<std::size_t> next_ticket_id_{0};
     std::vector<std::unique_ptr<const Stage>> predictable_stages_;
     std::vector<std::unique_ptr<const Stage>> complex_stages_;
+    /// Declared last on purpose: the pool is destroyed *first*, which joins
+    /// the workers (and lets them drain still-queued submissions) while the
+    /// stages, cache and telemetry those tasks dereference are still alive.
+    support::ThreadPool pool_;
 };
 
 }  // namespace teamplay::core

@@ -19,6 +19,7 @@
 // ScenarioContext, so one stage instance serves concurrent scenarios.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string_view>
@@ -41,6 +42,10 @@ struct ScenarioContext {
     WorkflowOptions options;
     EvaluationCache* cache = nullptr;
     support::ThreadPool* pool = nullptr;
+    /// Cooperative cancellation token of the owning ticket (may be null).
+    /// The engine checks it at every stage boundary; a long-running stage
+    /// may additionally poll it at its own safe points.
+    const std::atomic<bool>* cancelled = nullptr;
     std::vector<contracts::ContractInput> contract_inputs;  ///< ContractStage
     /// The pipeline's product; `report.spec` (filled by ParseStage) is the
     /// single authoritative copy of the parsed CSL spec.

@@ -25,6 +25,7 @@
 #include "coordination/glue.hpp"
 #include "coordination/runtime.hpp"
 #include "coordination/scheduler.hpp"
+#include "core/stage_telemetry.hpp"
 #include "csl/csl.hpp"
 #include "platform/platform.hpp"
 #include "profiler/pow_profiler.hpp"
@@ -49,6 +50,9 @@ struct ToolchainReport {
     std::vector<TaskFront> fronts;
     /// Per-core rate-monotonic analysis when the app is periodic.
     std::map<std::size_t, coordination::RtaResult> rta;
+    /// Wall time of each pipeline stage for this scenario, in execution
+    /// order (engine lap timer; not part of the deterministic report body).
+    std::vector<StageLap> stage_laps;
 
     /// Chosen compiled version for a scheduled task (predictable flow);
     /// nullptr when versions came from profiling.

@@ -38,7 +38,15 @@ std::size_t ThreadPool::default_workers() {
     return hw > 1 ? hw - 1 : 0;
 }
 
-bool ThreadPool::run_one() {
+void ThreadPool::submit(std::function<void()> task) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        queue_.emplace_back(std::move(task));
+    }
+    work_cv_.notify_one();
+}
+
+bool ThreadPool::try_run_one() {
     std::function<void()> task;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
@@ -106,7 +114,7 @@ void ThreadPool::parallel_for(
 
     // Help drain the queue (possibly including other batches' tasks), then
     // wait for stragglers of this batch still running on workers.
-    while (run_one()) {
+    while (try_run_one()) {
     }
     std::unique_lock<std::mutex> lock(batch->mutex);
     batch->done_cv.wait(lock, [&batch] { return batch->remaining == 0; });

@@ -1,12 +1,22 @@
 // Fixed-size worker pool with caller participation.
 //
-// The pool exposes one primitive, `parallel_for`: run a body over an index
-// range with the calling thread working alongside the background workers.
-// Because the caller always makes progress itself, nested `parallel_for`
-// calls issued from inside a body (the ScenarioEngine runs scenarios in
-// parallel, and each scenario's AnalyseStage fans out again over
-// (task, core class, OPP) tuples) can never deadlock: at worst the nested
-// call degrades to the calling thread draining its own work.
+// Two primitives:
+//
+//   `parallel_for` — run a body over an index range with the calling thread
+//   working alongside the background workers.  Because the caller always
+//   makes progress itself, nested `parallel_for` calls issued from inside a
+//   body (the ScenarioEngine runs scenarios in parallel, and each
+//   scenario's AnalyseStage fans out again over (task, core class, OPP)
+//   tuples) can never deadlock: at worst the nested call degrades to the
+//   calling thread draining its own work.
+//
+//   `submit` — enqueue one fire-and-forget task and return immediately; the
+//   streaming submission path of the ScenarioEngine is built on it.
+//   Notification and cancellation live in the caller's handle (the engine's
+//   ScenarioTicket), not in the pool: a waiter that wants the result calls
+//   `try_run_one` in a loop to help drain the queue (so a caller-only pool
+//   still executes everything on the waiting thread) and then blocks on its
+//   own handle state.
 //
 // Determinism contract: a body must only write to state addressed by its own
 // index.  Under that discipline results are identical for any worker count,
@@ -44,11 +54,21 @@ public:
     void parallel_for(std::size_t n,
                       const std::function<void(std::size_t)>& body);
 
+    /// Enqueue one task and return immediately.  The task must not throw;
+    /// completion/error reporting belongs to the caller's handle state.
+    /// With zero workers the task runs on whichever thread next drains the
+    /// queue (`try_run_one` or a `parallel_for` help-drain loop).
+    void submit(std::function<void()> task);
+
+    /// Run one queued task on the calling thread, if any.  Returns false
+    /// when the queue was empty.  Waiters use this to participate instead
+    /// of blocking while work they depend on sits in the queue.
+    bool try_run_one();
+
     /// Sensible default worker count for batch jobs on this host.
     [[nodiscard]] static std::size_t default_workers();
 
 private:
-    bool run_one();
     void worker_loop();
 
     std::vector<std::thread> threads_;
