@@ -69,7 +69,7 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
         .count();
 }
 
-void print_table() {
+bool print_table() {
     const auto batch = make_batch();
     const auto& requests = batch.requests;
 
@@ -118,6 +118,7 @@ void print_table() {
                 identical == reports.size() ? "(OK)" : "(MISMATCH!)");
     std::printf("per-stage telemetry (engine path):\n%s\n",
                 stats.stage_telemetry.to_string().c_str());
+    return identical == reports.size();
 }
 
 void BM_EngineBatch(benchmark::State& state) {
@@ -152,8 +153,11 @@ BENCHMARK(BM_EngineBatchWarm)->Unit(benchmark::kMillisecond)->UseRealTime();
 }  // namespace
 
 int main(int argc, char** argv) {
-    print_table();
+    // A certificate mismatch must fail the process: the CI bench-smoke
+    // step relies on this table as the engine-vs-legacy byte-identity
+    // gate.
+    const bool identical = print_table();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return identical ? 0 : 1;
 }

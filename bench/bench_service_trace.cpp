@@ -1,0 +1,153 @@
+// Experiment E5: mixed-app service trace — Poisson arrivals through the
+// streaming submission path.
+//
+// Models the engine as a long-lived service: UAV, camera-pill and rover
+// scenarios arrive as a Poisson process (seeded exponential inter-arrival
+// times) and are `submit`ted the moment they arrive; per-scenario
+// completion latency (arrival -> completion callback) is sampled and the
+// p50/p95 of the trace is reported per shard count (1/2/4).  The rover
+// shares its perception kernels with the UAV, so the trace also exercises
+// cross-program memoisation under service load: the router sends both apps'
+// scenarios to the shard that already holds the shared entries.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_engine.hpp"
+#include "usecases/apps.hpp"
+
+using namespace teamplay;
+using namespace teamplay::usecases;
+
+namespace {
+
+struct Trace {
+    std::vector<UseCaseApp> apps;  ///< owns programs/platforms
+    std::vector<core::ScenarioRequest> requests;  ///< arrival order
+    std::vector<double> gaps_s;                   ///< inter-arrival times
+};
+
+/// 45 arrivals, UAV/pill/rover round-robin, two scheduler-option variants,
+/// mean inter-arrival 4 ms (a bursty but sustainable load for one host).
+Trace make_trace(std::uint64_t seed = 7) {
+    Trace trace;
+    trace.apps.push_back(make_uav_app("apalis-tk1"));
+    trace.apps.push_back(make_camera_pill_app());
+    trace.apps.push_back(make_rover_app("apalis-tk1"));
+
+    std::mt19937_64 rng(seed);
+    std::exponential_distribution<double> arrival(1.0 / 0.004);
+    for (int i = 0; i < 45; ++i) {
+        const auto& app = trace.apps[static_cast<std::size_t>(i) %
+                                     trace.apps.size()];
+        core::ScenarioRequest request;
+        request.program = &app.program;
+        request.platform = &app.platform;
+        request.csl_source = app.csl_source;
+        request.options.compiler.population = 6;
+        request.options.compiler.iterations = 6;
+        request.options.profile_runs = 8;
+        request.options.scheduler.anneal_iterations = 80;
+        if (i % 2 == 1) request.options.scheduler.seed = 7;
+        request.label = app.name + "#" + std::to_string(i);
+        trace.requests.push_back(std::move(request));
+        trace.gaps_s.push_back(arrival(rng));
+    }
+    return trace;
+}
+
+struct Percentiles {
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+};
+
+Percentiles percentiles(std::vector<double> latencies_s) {
+    std::sort(latencies_s.begin(), latencies_s.end());
+    const auto at = [&](double q) {
+        const auto index = static_cast<std::size_t>(
+            q * static_cast<double>(latencies_s.size() - 1));
+        return 1e3 * latencies_s[index];
+    };
+    return {at(0.50), at(0.95)};
+}
+
+/// Replay the trace against a fresh sharded engine; returns per-scenario
+/// completion latencies (arrival -> completion callback).
+std::vector<double> replay(const Trace& trace, std::size_t shards,
+                           std::size_t workers) {
+    core::ShardedScenarioEngine engine(
+        {.shards = shards, .worker_threads = workers});
+    std::mutex mutex;
+    std::vector<double> latencies_s(trace.requests.size(), 0.0);
+
+    std::vector<core::ScenarioTicket> tickets;
+    tickets.reserve(trace.requests.size());
+    for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(trace.gaps_s[i]));
+        const auto arrival = std::chrono::steady_clock::now();
+        tickets.push_back(engine.submit(
+            trace.requests[i],
+            [&latencies_s, &mutex, i,
+             arrival](const core::ScenarioOutcome&) {
+                const double latency =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - arrival)
+                        .count();
+                const std::lock_guard<std::mutex> lock(mutex);
+                latencies_s[i] = latency;
+            }));
+    }
+    for (auto& ticket : tickets) ticket.wait();
+    return latencies_s;
+}
+
+void print_table() {
+    const auto trace = make_trace();
+    std::printf("=== E5: service trace, %zu Poisson arrivals "
+                "(uav/pill/rover round-robin) ===\n",
+                trace.requests.size());
+    for (const std::size_t shards : {1UL, 2UL, 4UL}) {
+        const auto stats = percentiles(replay(trace, shards, 4));
+        std::printf("%zu shard(s): completion latency p50 %8.2f ms, "
+                    "p95 %8.2f ms\n",
+                    shards, stats.p50_ms, stats.p95_ms);
+    }
+}
+
+void BM_ServiceTrace(benchmark::State& state) {
+    const auto trace = make_trace();
+    const auto shards = static_cast<std::size_t>(state.range(0));
+    std::vector<double> all;
+    for (auto _ : state) {
+        const auto latencies = replay(trace, shards, 4);
+        all.insert(all.end(), latencies.begin(), latencies.end());
+    }
+    const auto stats = percentiles(std::move(all));
+    state.counters["p50_ms"] = stats.p50_ms;
+    state.counters["p95_ms"] = stats.p95_ms;
+    state.counters["scenarios/s"] = benchmark::Counter(
+        static_cast<double>(trace.requests.size() * state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServiceTrace)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,174 @@
+// Experiment E4: sharded service core — throughput and cross-program
+// memoisation on mixed-app batches.
+//
+// Routes a mixed batch (all five use cases, including the rover, whose
+// perception stack structurally equals the UAV's, times option variants)
+// through `ShardedScenarioEngine` at 1/2/4 shards and reports:
+//
+//   * batch throughput per shard count (scenarios/s, merged cache stats);
+//   * cross-program hits: evaluation-cache hits that only exist because
+//     two *different* applications share a kernel — measured as the miss
+//     reduction of the mixed batch versus the same batch partitioned into
+//     one isolated engine per app (within-app redundancy cancels out);
+//   * certificate byte-identity: every report from every shard count must
+//     equal the single-engine output bit for bit (the sharded core changes
+//     *where* work runs and *what* is recomputed, never a single analysed
+//     bound).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/sharded_engine.hpp"
+#include "usecases/apps.hpp"
+
+using namespace teamplay;
+using namespace teamplay::usecases;
+
+namespace {
+
+struct Batch {
+    std::vector<UseCaseApp> apps;  ///< owns programs/platforms
+    std::vector<core::ScenarioRequest> requests;
+};
+
+/// Five apps x 2 option variants.  The UAV and the rover run on the same
+/// board, so their shared perception kernels (capture/resize/detect) carry
+/// identical cache keys across the two programs.
+Batch make_batch() {
+    Batch batch;
+    batch.apps.push_back(make_camera_pill_app());      // predictable
+    batch.apps.push_back(make_space_app());            // predictable
+    batch.apps.push_back(make_uav_app("apalis-tk1"));  // complex
+    batch.apps.push_back(make_rover_app("apalis-tk1"));  // complex, shares
+    batch.apps.push_back(make_parking_app(false));     // complex (TK1)
+
+    for (const auto& app : batch.apps) {
+        for (const int variant : {0, 1}) {
+            core::ScenarioRequest request;
+            request.program = &app.program;
+            request.platform = &app.platform;
+            request.csl_source = app.csl_source;
+            request.options.compiler.population = 8;
+            request.options.compiler.iterations = 8;
+            request.options.profile_runs = 10;
+            request.options.scheduler.anneal_iterations = 120;
+            if (variant == 1) request.options.scheduler.seed = 7;
+            request.label = app.name + "/v" + std::to_string(variant);
+            batch.requests.push_back(std::move(request));
+        }
+    }
+    return batch;
+}
+
+/// Misses when every app runs in its own isolated engine (same options,
+/// same within-app redundancy, zero cross-app sharing).
+std::uint64_t isolated_misses(const Batch& batch) {
+    std::uint64_t total = 0;
+    for (const auto& app : batch.apps) {
+        core::ScenarioEngine engine({.worker_threads = 4});
+        std::vector<core::ScenarioRequest> own;
+        for (const auto& request : batch.requests)
+            if (request.program == &app.program) own.push_back(request);
+        core::BatchStats stats;
+        (void)engine.run_all(own, &stats);
+        total += stats.cache.misses;
+    }
+    return total;
+}
+
+bool print_table() {
+    const auto batch = make_batch();
+    std::printf("=== E4: sharded service core, %zu mixed scenarios "
+                "(%zu apps) ===\n",
+                batch.requests.size(), batch.apps.size());
+
+    // Reference: single engine (the byte-identity baseline).
+    core::ScenarioEngine reference({.worker_threads = 4});
+    const auto baseline = reference.run_all(batch.requests);
+
+    const std::uint64_t isolated = isolated_misses(batch);
+
+    bool all_identical = true;
+    for (const std::size_t shards : {1UL, 2UL, 4UL}) {
+        core::ShardedScenarioEngine engine(
+            {.shards = shards, .worker_threads = 4});
+        core::BatchStats stats;
+        const auto reports = engine.run_all(batch.requests, &stats);
+
+        std::size_t identical = 0;
+        for (std::size_t i = 0; i < reports.size(); ++i)
+            if (reports[i].certificate.to_text() ==
+                baseline[i].certificate.to_text())
+                ++identical;
+        // The primary-kernel router colocates apps that share their
+        // pipeline front (UAV/rover), so cross-program hits survive any
+        // shard count.
+        const std::uint64_t cross =
+            isolated > stats.cache.misses ? isolated - stats.cache.misses
+                                          : 0;
+        std::printf(
+            "%zu shard(s): %6.2f scenarios/s; cache %llu hits / %llu "
+            "misses (%llu cross-program); certificates identical %zu/%zu "
+            "%s\n",
+            shards, stats.scenarios_per_s,
+            static_cast<unsigned long long>(stats.cache.hits),
+            static_cast<unsigned long long>(stats.cache.misses),
+            static_cast<unsigned long long>(cross), identical,
+            reports.size(),
+            identical == reports.size() ? "(OK)" : "(MISMATCH!)");
+        all_identical = all_identical && identical == reports.size();
+    }
+    std::printf("isolated per-app engines: %llu misses (cross-program "
+                "sharing disabled)\n",
+                static_cast<unsigned long long>(isolated));
+    return all_identical;
+}
+
+void BM_ShardedBatch(benchmark::State& state) {
+    const auto batch = make_batch();
+    const auto shards = static_cast<std::size_t>(state.range(0));
+    const std::uint64_t isolated = isolated_misses(batch);
+    std::uint64_t misses = 0;
+    std::uint64_t hits = 0;
+    for (auto _ : state) {
+        core::ShardedScenarioEngine engine(
+            {.shards = shards, .worker_threads = 4});
+        core::BatchStats stats;
+        benchmark::DoNotOptimize(engine.run_all(batch.requests, &stats));
+        misses += stats.cache.misses;
+        hits += stats.cache.hits;
+    }
+    const auto iterations =
+        static_cast<std::uint64_t>(state.iterations());
+    state.counters["scenarios/s"] = benchmark::Counter(
+        static_cast<double>(batch.requests.size() * iterations),
+        benchmark::Counter::kIsRate);
+    state.counters["hits"] =
+        static_cast<double>(hits) / static_cast<double>(iterations);
+    state.counters["cross_program_hits"] =
+        static_cast<double>(isolated * iterations > misses
+                                ? isolated - misses / iterations
+                                : 0);
+}
+BENCHMARK(BM_ShardedBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    // A certificate mismatch must fail the process: the CI bench-smoke
+    // step relies on this table as the sharded-vs-single byte-identity
+    // gate.
+    const bool identical = print_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return identical ? 0 : 1;
+}

@@ -13,8 +13,15 @@
 //   $ ./example_teamplay_cli space --makespan
 //   $ ./example_teamplay_cli uav --platform jetson-tx2
 //   $ ./example_teamplay_cli parking --csl my_budgets.csl
+//   $ ./example_teamplay_cli rover --platform jetson-nano
 //   $ ./example_teamplay_cli --all --jobs 4 --quiet
 //   $ ./example_teamplay_cli --all --jobs 4 --stream --cache-budget 16
+//   $ ./example_teamplay_cli --all --jobs 4 --shards 2 --quiet
+//
+// With `--shards N`, scenarios are routed across N engine shards by the
+// structural fingerprint of their task entry kernels (same-kernel
+// scenarios land where the cache is warm); the report merges per-shard
+// cache and stage telemetry.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -25,7 +32,7 @@
 #include <vector>
 
 #include "core/advisor.hpp"
-#include "core/scenario_engine.hpp"
+#include "core/sharded_engine.hpp"
 #include "usecases/apps.hpp"
 
 using namespace teamplay;
@@ -34,19 +41,35 @@ namespace {
 
 void usage() {
     std::puts(
-        "usage: example_teamplay_cli <pill|space|uav|parking|--all> "
-        "[options]\n"
-        "  --platform <name>   uav/parking only: apalis-tk1, jetson-tx2,\n"
-        "                      jetson-nano (uav), nucleo-f091 (parking)\n"
+        "usage: example_teamplay_cli "
+        "<pill|space|uav|rover|parking|--all> [options]\n"
+        "  --platform <name>   uav/rover/parking only: apalis-tk1,\n"
+        "                      jetson-tx2, jetson-nano (uav/rover),\n"
+        "                      nucleo-f091 (parking)\n"
         "  --csl <file>        override the built-in CSL annotations\n"
         "  --makespan          schedule for makespan instead of energy\n"
         "  --seed <n>          search seed (default 42)\n"
         "  --jobs <n>          engine worker threads (default 0 = caller)\n"
+        "  --shards <n>        split the engine into n cache shards routed\n"
+        "                      by kernel structural fingerprint (default 1)\n"
         "  --stream            submit scenarios asynchronously and print\n"
         "                      each result as it completes\n"
-        "  --cache-budget <n>  evict evaluation-cache entries beyond n\n"
-        "                      (default 0 = unbounded)\n"
+        "  --cache-budget <n>  evict evaluation-cache entries beyond n,\n"
+        "                      per shard (default 0 = unbounded)\n"
         "  --quiet             only print the certificate verdict");
+}
+
+void print_shard_breakdown(const core::ShardedScenarioEngine& engine) {
+    if (engine.shard_count() <= 1) return;
+    for (std::size_t shard = 0; shard < engine.shard_count(); ++shard) {
+        const auto stats = engine.shard_cache_stats(shard);
+        std::printf("  shard %zu: %llu hits / %llu misses, %llu evictions, "
+                    "%zu entries\n",
+                    shard, static_cast<unsigned long long>(stats.hits),
+                    static_cast<unsigned long long>(stats.misses),
+                    static_cast<unsigned long long>(stats.evictions),
+                    stats.entries);
+    }
 }
 
 /// Prints the report and returns whether its certificate is valid.
@@ -86,6 +109,7 @@ int main(int argc, char** argv) {
     bool stream = false;
     std::uint64_t seed = 42;
     std::size_t jobs = 0;
+    std::size_t shards = 1;
     std::size_t cache_budget = 0;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -103,6 +127,8 @@ int main(int argc, char** argv) {
             seed = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--jobs" && i + 1 < argc) {
             jobs = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--shards" && i + 1 < argc) {
+            shards = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--cache-budget" && i + 1 < argc) {
             cache_budget = std::strtoull(argv[++i], nullptr, 10);
         } else {
@@ -132,6 +158,10 @@ int main(int argc, char** argv) {
             apps.push_back(usecases::make_uav_app(platform_override.empty()
                                                       ? "apalis-tk1"
                                                       : platform_override));
+        } else if (which == "rover") {
+            apps.push_back(usecases::make_rover_app(platform_override.empty()
+                                                        ? "apalis-tk1"
+                                                        : platform_override));
         } else if (which == "parking") {
             apps.push_back(
                 usecases::make_parking_app(platform_override != "apalis-tk1"));
@@ -139,6 +169,7 @@ int main(int argc, char** argv) {
             apps.push_back(usecases::make_camera_pill_app());
             apps.push_back(usecases::make_space_app());
             apps.push_back(usecases::make_uav_app("apalis-tk1"));
+            apps.push_back(usecases::make_rover_app("apalis-tk1"));
             apps.push_back(usecases::make_parking_app(true));
         } else {
             usage();
@@ -180,8 +211,9 @@ int main(int argc, char** argv) {
             requests.push_back(std::move(request));
         }
 
-        core::ScenarioEngine engine(
-            {.worker_threads = jobs,
+        core::ShardedScenarioEngine engine(
+            {.shards = shards,
+             .worker_threads = jobs,
              .cache_budget = {.max_entries = cache_budget}});
 
         if (stream) {
@@ -236,8 +268,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cache.misses),
                 static_cast<unsigned long long>(cache.evictions),
                 cache.entries);
+            print_shard_breakdown(engine);
             if (!quiet)
-                std::printf("--- per-stage telemetry ---\n%s",
+                std::printf("--- per-stage telemetry (all shards) ---\n%s",
                             engine.stage_telemetry().to_string().c_str());
             return all_ok ? 0 : 1;
         }
@@ -252,8 +285,9 @@ int main(int argc, char** argv) {
                 all_ok;
         if (reports.size() > 1)
             std::printf("batch: %s\n", stats.to_string().c_str());
+        print_shard_breakdown(engine);
         if (!quiet)
-            std::printf("--- per-stage telemetry ---\n%s",
+            std::printf("--- per-stage telemetry (all shards) ---\n%s",
                         stats.stage_telemetry.to_string().c_str());
         return all_ok ? 0 : 1;
     } catch (const std::exception& error) {

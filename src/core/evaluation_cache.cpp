@@ -41,6 +41,23 @@ Fingerprint& Fingerprint::mix(std::string_view text) {
     return mix(static_cast<std::uint64_t>(text.size()));
 }
 
+void EvaluationCache::Stats::merge(const Stats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    entries += other.entries;
+    resident_cost += other.resident_cost;
+}
+
+EvaluationCache::Stats EvaluationCache::Stats::since(
+    const Stats& before) const {
+    Stats delta = *this;
+    delta.hits -= before.hits;
+    delta.misses -= before.misses;
+    delta.evictions -= before.evictions;
+    return delta;
+}
+
 double evaluation_result_cost(const EvaluationResult& result) {
     double cost = 1.0;
     if (result.front) cost += static_cast<double>(result.front->size());

@@ -4,9 +4,13 @@
 // toolchain — a multi-criteria compiled Pareto front, a PowProfiler
 // measurement campaign, a taint analysis — is a pure function of the source
 // program and a handful of option values.  The cache keys on exactly that
-// tuple plus an `AnalysisKind` discriminator and an options fingerprint, so
-// a batch of scenarios that share an application re-analyses each key once,
-// no matter how many platform/option variations the batch sweeps.
+// tuple plus an `AnalysisKind` discriminator and an options fingerprint.
+// The program component is the *structural fingerprint* of the entry
+// function's reachable sub-program (ir::structural_fingerprint), not
+// whole-program identity, so a batch re-analyses each key once no matter
+// how many platform/option variations it sweeps — and scenarios from
+// *different* applications that embed the same kernel share the memoised
+// result too (cross-program memoisation).
 //
 // Concurrency: lookups are single-flight.  The first requester of a key
 // computes the value while later requesters block on a shared future, so a
@@ -60,11 +64,14 @@ struct Fingerprint {
 };
 
 struct EvaluationKey {
-    /// Content fingerprint of the analysed IR program (see
-    /// `fingerprint_program`).  Deliberately not a pointer: a long-lived
-    /// engine must not serve stale results when a freed program's address
-    /// is reused by a new one.
-    std::uint64_t program_fp = 0;
+    /// Canonical structural fingerprint of the entry function's reachable
+    /// sub-program (see `ir::structural_fingerprint`), *not* whole-program
+    /// identity: two applications embedding the same kernel produce the
+    /// same fingerprint, so memoised fronts/profiles/taints are shared
+    /// across programs.  Deliberately not a pointer: a long-lived engine
+    /// must not serve stale results when a freed program's address is
+    /// reused by a new one.
+    std::uint64_t structural_fp = 0;
     std::string entry;              ///< task entry function
     std::string core_class;         ///< "" for program-wide analyses
     std::size_t opp_index = 0;      ///< 0 when the kind spans all OPPs
@@ -132,6 +139,17 @@ public:
                                    static_cast<double>(total)
                              : 0.0;
         }
+
+        /// Fold another snapshot in (commutative, like StageTelemetry's
+        /// merge): counters and gauges sum, so per-shard snapshots
+        /// aggregate into one service-wide view without ad-hoc summing in
+        /// callers.
+        void merge(const Stats& other);
+
+        /// Counter delta since an earlier snapshot of the *same* cache:
+        /// hits/misses/evictions subtract, while `entries`/`resident_cost`
+        /// (point-in-time gauges) keep this snapshot's values.
+        [[nodiscard]] Stats since(const Stats& before) const;
     };
 
     [[nodiscard]] Stats stats() const;

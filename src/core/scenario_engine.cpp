@@ -1,5 +1,6 @@
 #include "core/scenario_engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <sstream>
@@ -79,6 +80,16 @@ bool ScenarioTicket::cancel_requested() const {
 }
 
 // -- BatchStats ---------------------------------------------------------------
+
+void BatchStats::merge(const BatchStats& other) {
+    scenarios += other.scenarios;
+    workers += other.workers;
+    wall_s = std::max(wall_s, other.wall_s);
+    scenarios_per_s =
+        wall_s > 0.0 ? static_cast<double>(scenarios) / wall_s : 0.0;
+    cache.merge(other.cache);
+    stage_telemetry.merge(other.stage_telemetry);
+}
 
 std::string BatchStats::to_string() const {
     std::ostringstream os;
@@ -246,11 +257,7 @@ std::vector<ToolchainReport> ScenarioEngine::run_all(
             stats->wall_s > 0.0
                 ? static_cast<double>(requests.size()) / stats->wall_s
                 : 0.0;
-        stats->cache.hits = after.hits - before.hits;
-        stats->cache.misses = after.misses - before.misses;
-        stats->cache.evictions = after.evictions - before.evictions;
-        stats->cache.entries = after.entries;
-        stats->cache.resident_cost = after.resident_cost;
+        stats->cache = after.since(before);
         // Merge in request order: deterministic, and identical in shape to
         // what a streamed consumer would aggregate from its callbacks.
         for (const auto& report : reports)

@@ -28,10 +28,14 @@
 //     per report, so a regression in one stage is attributable.
 //
 // Determinism: every parallel unit is seeded from its own key and writes to
-// its own slot, so reports — including certificate bytes — are identical
-// for any worker count, any cache budget, streamed or batched, and
-// identical to the legacy single-scenario workflow drivers (which are now
-// thin wrappers over this engine).
+// its own slot, and every cache key (ir::structural_fingerprint + options)
+// covers all bytes that can influence output, so reports — including
+// certificate bytes — are identical for any worker count, any cache
+// budget, streamed or batched, and identical to the legacy
+// single-scenario workflow drivers (which are now thin wrappers over this
+// engine).  For a multi-cache service front, see ShardedScenarioEngine
+// (sharded_engine.hpp), which routes submissions across N engines by
+// kernel fingerprint.
 #pragma once
 
 #include <atomic>
@@ -82,6 +86,13 @@ struct BatchStats {
     double scenarios_per_s = 0.0;
     EvaluationCache::Stats cache;     ///< hits/misses/evictions of this batch
     StageTelemetry stage_telemetry;   ///< per-stage count/total/max
+
+    /// Fold another batch's statistics in (commutative): scenario and
+    /// cache counters sum, telemetry merges, and `wall_s` takes the max —
+    /// the wall-clock view of batches that ran concurrently (per-shard
+    /// batches of one service-wide submission).  Throughput is re-derived
+    /// from the folded totals.
+    void merge(const BatchStats& other);
 
     [[nodiscard]] std::string to_string() const;
 };

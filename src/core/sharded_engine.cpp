@@ -1,0 +1,167 @@
+#include "core/sharded_engine.hpp"
+
+#include <chrono>
+#include <optional>
+
+#include "csl/csl.hpp"
+#include "ir/fingerprint.hpp"
+
+namespace teamplay::core {
+
+namespace {
+
+/// Finalising mix (splitmix64): the structural fingerprint is
+/// well-distributed in the high bits but the modulo below consumes the low
+/// ones, so stir before reducing.
+std::uint64_t stir(std::uint64_t value) {
+    value += 0x9E3779B97F4A7C15ULL;
+    value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    value = (value ^ (value >> 27)) * 0x94D049BB133111EBULL;
+    return value ^ (value >> 31);
+}
+
+std::uint64_t routing_fingerprint(const ir::Program* program,
+                                  const csl::AppSpec* spec) {
+    if (program == nullptr) return 0;  // unreachable: shard_of pins these
+    // Route by the *primary kernel* — the first task's entry (a pipeline's
+    // source stage).  Applications that share their front kernels (the
+    // cross-program memoisation case) then colocate even though their
+    // tails differ, which a fold over every entry would scatter.
+    if (spec != nullptr && !spec->tasks.empty())
+        return ir::structural_fingerprint(*program,
+                                          spec->tasks.front().entry);
+    // No spec available (unparsed or unparsable CSL): fall back to program
+    // content so routing stays deterministic; the shard reports any CSL
+    // error through the ticket.
+    return fingerprint_program(*program);
+}
+
+}  // namespace
+
+ShardedScenarioEngine::ShardedScenarioEngine(Options options) {
+    const std::size_t shard_count = options.shards == 0 ? 1 : options.shards;
+    shards_.reserve(shard_count);
+    for (std::size_t i = 0; i < shard_count; ++i) {
+        ScenarioEngine::Options shard_options;
+        shard_options.worker_threads =
+            options.worker_threads / shard_count +
+            (i < options.worker_threads % shard_count ? 1 : 0);
+        shard_options.cache_budget = options.cache_budget;
+        shards_.push_back(std::make_unique<ScenarioEngine>(shard_options));
+    }
+}
+
+std::size_t ShardedScenarioEngine::shard_of(
+    const ScenarioRequest& request) const {
+    // Nothing to route with one shard: skip the transient parse and the
+    // fingerprint walk entirely (the CLI default).
+    if (shards_.size() == 1) return 0;
+    // A malformed request is pinned to shard 0, which reports the error
+    // through its ticket.
+    if (request.program == nullptr) return 0;
+    // A request carrying only CSL source is parsed into a transient spec
+    // for routing; the request itself is forwarded untouched, so the
+    // scenario's own parse runs inside its shard's ParseStage (identical
+    // stage telemetry and error surface to the single engine).  A
+    // malformed source routes on program content and the shard raises the
+    // CslError into the ticket.
+    const csl::AppSpec* spec =
+        request.spec.has_value() ? &*request.spec : nullptr;
+    std::optional<csl::AppSpec> transient;
+    if (spec == nullptr && request.program != nullptr &&
+        !request.csl_source.empty()) {
+        try {
+            transient = csl::parse(request.csl_source);
+            spec = &*transient;
+        } catch (const csl::CslError&) {
+        }
+    }
+    return stir(routing_fingerprint(request.program, spec)) %
+           shards_.size();
+}
+
+ScenarioTicket ShardedScenarioEngine::submit(ScenarioRequest request,
+                                             Completion on_complete) {
+    const std::size_t shard = shard_of(request);
+    return shards_[shard]->submit(std::move(request),
+                                  std::move(on_complete));
+}
+
+ToolchainReport ShardedScenarioEngine::run(const ScenarioRequest& request) {
+    return submit(request).get();
+}
+
+std::vector<ToolchainReport> ShardedScenarioEngine::run_all(
+    std::span<const ScenarioRequest> requests, BatchStats* stats) {
+    std::vector<EvaluationCache::Stats> before;
+    if (stats != nullptr) {
+        before.reserve(shards_.size());
+        for (const auto& shard : shards_)
+            before.push_back(shard->cache_stats());
+    }
+    const auto start = std::chrono::steady_clock::now();
+
+    std::vector<ScenarioTicket> tickets;
+    tickets.reserve(requests.size());
+    for (const auto& request : requests) tickets.push_back(submit(request));
+
+    std::vector<ToolchainReport> reports(requests.size());
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+        try {
+            reports[i] = tickets[i].get();
+        } catch (...) {
+            if (!first_error) first_error = std::current_exception();
+        }
+    }
+
+    if (stats != nullptr) {
+        stats->scenarios = requests.size();
+        stats->workers = concurrency();
+        stats->wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+        stats->scenarios_per_s =
+            stats->wall_s > 0.0
+                ? static_cast<double>(requests.size()) / stats->wall_s
+                : 0.0;
+        // Per-shard counter deltas fold into one batch-wide view; entries/
+        // resident_cost are end-of-batch gauges, summed across shards.
+        stats->cache = {};
+        for (std::size_t i = 0; i < shards_.size(); ++i)
+            stats->cache.merge(shards_[i]->cache_stats().since(before[i]));
+        for (const auto& report : reports)
+            stats->stage_telemetry.merge(report.stage_laps);
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return reports;
+}
+
+EvaluationCache::Stats ShardedScenarioEngine::cache_stats() const {
+    EvaluationCache::Stats folded;
+    for (const auto& shard : shards_) folded.merge(shard->cache_stats());
+    return folded;
+}
+
+EvaluationCache::Stats ShardedScenarioEngine::shard_cache_stats(
+    std::size_t shard) const {
+    return shards_.at(shard)->cache_stats();
+}
+
+StageTelemetry ShardedScenarioEngine::stage_telemetry() const {
+    StageTelemetry folded;
+    for (const auto& shard : shards_) folded.merge(shard->stage_telemetry());
+    return folded;
+}
+
+std::size_t ShardedScenarioEngine::concurrency() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) total += shard->concurrency();
+    return total;
+}
+
+void ShardedScenarioEngine::clear_caches() {
+    for (const auto& shard : shards_) shard->clear_cache();
+}
+
+}  // namespace teamplay::core

@@ -1,0 +1,111 @@
+// Sharded service core: N in-process ScenarioEngines behind a
+// structural-fingerprint router.
+//
+// One engine means one cache and one pool; a service that wants cache
+// locality *and* isolation between tenants of the evaluation cache runs N
+// shards instead.  The router hashes the canonical structural fingerprint
+// of a scenario's *primary kernel* — its first task's entry function
+// (ir::structural_fingerprint, the same quantity the EvaluationCache keys
+// on) — so every scenario that analyses the same kernels lands on the
+// shard whose cache is already warm, whatever application, platform or
+// options it arrives with; two applications sharing their pipeline front
+// (UAV and rover) colocate even though their tails differ.  Routing is a
+// pure function of the request's program + spec: it is stable across
+// processes and restarts, which is exactly the property the cross-host RPC
+// follow-on needs (DESIGN.md §8).
+//
+// The sharded engine keeps the single-engine service surface:
+//
+//   * `submit` returns the same ScenarioTicket (cancellation, completion
+//     callbacks, caller help-drain) — a ticket is bound to its shard's pool
+//     and never observes the router;
+//   * `run` / `run_all` are thin wrappers over submission, with BatchStats
+//     whose cache counters are the fold of per-shard deltas;
+//   * per-shard cache budgets bound every shard's footprint independently;
+//   * `cache_stats` / `stage_telemetry` are commutative folds over shard
+//     snapshots (EvaluationCache::Stats::merge / StageTelemetry::merge).
+//
+// Determinism: every cache key folds in every byte that can influence
+// engine output, so whichever shard (and whichever scenario within it)
+// computes a key first, the observable report bytes are identical —
+// certificates from any shard count and any cache budget are byte-identical
+// to the single-engine output on the same batch.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/scenario_engine.hpp"
+
+namespace teamplay::core {
+
+class ShardedScenarioEngine {
+public:
+    struct Options {
+        /// Number of shards; 0 is normalised to 1 (a sharded engine with
+        /// one shard behaves exactly like a plain ScenarioEngine).
+        std::size_t shards = 1;
+        /// Total extra worker threads, distributed across shards (shard i
+        /// gets floor(n/shards) plus one of the first n%shards remainders);
+        /// 0 = every shard runs caller-only.
+        std::size_t worker_threads = 0;
+        /// Evaluation-cache retention budget *per shard*.
+        EvaluationCache::Budget cache_budget;
+    };
+
+    using Completion = ScenarioEngine::Completion;
+
+    ShardedScenarioEngine() : ShardedScenarioEngine(Options{}) {}
+    explicit ShardedScenarioEngine(Options options);
+
+    ShardedScenarioEngine(const ShardedScenarioEngine&) = delete;
+    ShardedScenarioEngine& operator=(const ShardedScenarioEngine&) = delete;
+
+    /// Route one scenario to its shard and enqueue it there.  Same contract
+    /// as ScenarioEngine::submit: the request is forwarded untouched (a
+    /// CSL-only request is parsed transiently for routing, then parsed for
+    /// real inside the shard's ParseStage, so stage telemetry and the
+    /// error surface match the single engine; malformed CSL is accepted
+    /// here and surfaces through the ticket).
+    [[nodiscard]] ScenarioTicket submit(ScenarioRequest request,
+                                        Completion on_complete = {});
+
+    /// Execute one scenario synchronously (wrapper over `submit`).
+    [[nodiscard]] ToolchainReport run(const ScenarioRequest& request);
+
+    /// Execute a batch across all shards.  Reports come back in request
+    /// order; the first scenario error is rethrown after the batch drains.
+    /// `stats` aggregates the whole batch: cache counters are the fold of
+    /// per-shard deltas, telemetry the fold of per-report laps.
+    [[nodiscard]] std::vector<ToolchainReport> run_all(
+        std::span<const ScenarioRequest> requests,
+        BatchStats* stats = nullptr);
+
+    [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+    /// The shard `request` routes to — a pure function of the request's
+    /// program and task entries (exposed so benches and tests can attribute
+    /// per-shard behaviour).
+    [[nodiscard]] std::size_t shard_of(const ScenarioRequest& request) const;
+
+    /// Fold of every shard's cache snapshot.
+    [[nodiscard]] EvaluationCache::Stats cache_stats() const;
+    [[nodiscard]] EvaluationCache::Stats shard_cache_stats(
+        std::size_t shard) const;
+
+    /// Fold of every shard's cumulative per-stage telemetry.
+    [[nodiscard]] StageTelemetry stage_telemetry() const;
+
+    /// Threads that can execute work across all shards (per-shard workers
+    /// plus each shard's calling thread).
+    [[nodiscard]] std::size_t concurrency() const;
+
+    void clear_caches();
+
+private:
+    std::vector<std::unique_ptr<ScenarioEngine>> shards_;
+};
+
+}  // namespace teamplay::core

@@ -21,12 +21,19 @@ void StageTelemetry::merge(std::span<const StageLap> laps) {
 }
 
 void StageTelemetry::merge(const StageTelemetry& other) {
-    for (const auto& [name, stage] : other.stages_) {
-        auto& entry = stages_[name];
-        entry.count += stage.count;
-        entry.total_s += stage.total_s;
-        entry.max_s = std::max(entry.max_s, stage.max_s);
-    }
+    for (const auto& [name, stage] : other.stages_) merge(name, stage);
+}
+
+void StageTelemetry::merge(std::string_view stage,
+                           const PerStage& aggregate) {
+    const auto it = stages_.find(stage);
+    auto& entry =
+        it != stages_.end()
+            ? it->second
+            : stages_.emplace(std::string(stage), PerStage{}).first->second;
+    entry.count += aggregate.count;
+    entry.total_s += aggregate.total_s;
+    entry.max_s = std::max(entry.max_s, aggregate.max_s);
 }
 
 std::string StageTelemetry::to_string() const {

@@ -43,6 +43,9 @@ public:
     void record(std::string_view stage, double seconds);
     void merge(std::span<const StageLap> laps);
     void merge(const StageTelemetry& other);
+    /// Fold one pre-aggregated per-stage summary in (used by cross-shard
+    /// aggregation and the wire codec's decoder).
+    void merge(std::string_view stage, const PerStage& aggregate);
 
     [[nodiscard]] bool empty() const { return stages_.empty(); }
     [[nodiscard]] const std::map<std::string, PerStage, std::less<>>& stages()

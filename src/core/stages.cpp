@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "ir/fingerprint.hpp"
 #include "ir/validate.hpp"
 #include "security/taint.hpp"
 
@@ -154,6 +155,13 @@ void ParseStage::run(ScenarioContext& context) const {
         context.report.spec = csl::parse(context.request->csl_source);
     context.report.platform_name = context.platform->name;
     context.report.graph = context.report.spec.skeleton();
+    // Structural fingerprints of every task entry, computed once per
+    // scenario: the program component of all downstream cache keys (and
+    // the quantity the shard router hashes, so routing and keying agree).
+    for (const auto& task_spec : context.report.spec.tasks)
+        context.entry_fps.try_emplace(
+            task_spec.entry,
+            ir::structural_fingerprint(*context.program, task_spec.entry));
 }
 
 // -- AnalyseStage -------------------------------------------------------------
@@ -190,7 +198,7 @@ void AnalyseStage::run_static(ScenarioContext& context) const {
     context.pool->parallel_for(tuples.size(), [&](std::size_t i) {
         const auto& tuple = tuples[i];
         EvaluationKey key;
-        key.program_fp = context.program_fp;
+        key.structural_fp = context.entry_fps.at(tuple.task->entry);
         key.entry = tuple.task->entry;
         key.core_class = tuple.cls;
         key.kind = AnalysisKind::kCompiledFront;
@@ -264,7 +272,7 @@ void AnalyseStage::run_profiled(ScenarioContext& context) const {
         const auto& tuple = tuples[i];
 
         EvaluationKey taint_key;
-        taint_key.program_fp = context.program_fp;
+        taint_key.structural_fp = context.entry_fps.at(tuple.task->entry);
         taint_key.entry = tuple.task->entry;
         taint_key.kind = AnalysisKind::kTaint;
         const auto taint = context.cache->lookup(taint_key, [&] {
@@ -276,7 +284,7 @@ void AnalyseStage::run_profiled(ScenarioContext& context) const {
         });
 
         EvaluationKey key;
-        key.program_fp = context.program_fp;
+        key.structural_fp = context.entry_fps.at(tuple.task->entry);
         key.entry = tuple.task->entry;
         key.core_class = tuple.cls;
         key.opp_index = tuple.opp;

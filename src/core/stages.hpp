@@ -21,7 +21,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -40,6 +42,10 @@ struct ScenarioContext {
     bool program_validated = false;
     const platform::Platform* platform = nullptr;
     WorkflowOptions options;
+    /// Canonical structural fingerprint per task entry function (filled by
+    /// ParseStage once the spec is known); the program component of every
+    /// EvaluationKey, shared across programs that embed the same kernel.
+    std::map<std::string, std::uint64_t> entry_fps;
     EvaluationCache* cache = nullptr;
     support::ThreadPool* pool = nullptr;
     /// Cooperative cancellation token of the owning ticket (may be null).

@@ -1,0 +1,549 @@
+#include "core/wire.hpp"
+
+#include <bit>
+#include <cstring>
+#include <utility>
+
+namespace teamplay::core::wire {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54504C57;  // "TPLW"
+
+enum class MessageKind : std::uint8_t {
+    kKey = 1,
+    kResult = 2,
+    kTelemetry = 3,
+    kBatchStats = 4,
+};
+
+/// Node trees are shallow in practice (builder nesting); the cap only
+/// exists so a corrupted buffer cannot drive unbounded recursion.
+constexpr int kMaxNodeDepth = 256;
+
+constexpr std::size_t kHeaderBytes = 4 + 2 + 1;   // magic + version + kind
+constexpr std::size_t kChecksumBytes = 8;
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+    std::uint64_t value = 14695981039346656037ULL;
+    for (const std::uint8_t byte : bytes) {
+        value ^= byte;
+        value *= 1099511628211ULL;
+    }
+    return value;
+}
+
+// -- writer -------------------------------------------------------------------
+
+struct Writer {
+    Buffer out;
+
+    void u8(std::uint8_t value) { out.push_back(value); }
+    void u16(std::uint16_t value) {
+        out.push_back(static_cast<std::uint8_t>(value));
+        out.push_back(static_cast<std::uint8_t>(value >> 8));
+    }
+    void u32(std::uint32_t value) {
+        for (int shift = 0; shift < 32; shift += 8)
+            out.push_back(static_cast<std::uint8_t>(value >> shift));
+    }
+    void u64(std::uint64_t value) {
+        for (int shift = 0; shift < 64; shift += 8)
+            out.push_back(static_cast<std::uint8_t>(value >> shift));
+    }
+    void i64(std::int64_t value) {
+        u64(static_cast<std::uint64_t>(value));
+    }
+    void f64(double value) { u64(std::bit_cast<std::uint64_t>(value)); }
+    void boolean(bool value) { u8(value ? 1 : 0); }
+    void reg(ir::Reg value) { u32(static_cast<std::uint32_t>(value)); }
+    void str(std::string_view text) {
+        u32(static_cast<std::uint32_t>(text.size()));
+        out.insert(out.end(), text.begin(), text.end());
+    }
+};
+
+// -- reader -------------------------------------------------------------------
+
+struct Reader {
+    std::span<const std::uint8_t> data;
+    std::size_t pos = 0;
+
+    void need(std::size_t bytes) const {
+        if (bytes > data.size() - pos)
+            throw WireFormatError("wire buffer truncated");
+    }
+    std::uint8_t u8() {
+        need(1);
+        return data[pos++];
+    }
+    std::uint16_t u16() {
+        need(2);
+        std::uint16_t value = 0;
+        for (int shift = 0; shift < 16; shift += 8)
+            value = static_cast<std::uint16_t>(
+                value | static_cast<std::uint16_t>(data[pos++]) << shift);
+        return value;
+    }
+    std::uint32_t u32() {
+        need(4);
+        std::uint32_t value = 0;
+        for (int shift = 0; shift < 32; shift += 8)
+            value |= static_cast<std::uint32_t>(data[pos++]) << shift;
+        return value;
+    }
+    std::uint64_t u64() {
+        need(8);
+        std::uint64_t value = 0;
+        for (int shift = 0; shift < 64; shift += 8)
+            value |= static_cast<std::uint64_t>(data[pos++]) << shift;
+        return value;
+    }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    double f64() { return std::bit_cast<double>(u64()); }
+    bool boolean() {
+        const std::uint8_t byte = u8();
+        if (byte > 1) throw WireFormatError("wire bool byte not 0/1");
+        return byte == 1;
+    }
+    ir::Reg reg() { return static_cast<ir::Reg>(u32()); }
+    std::string str() {
+        const std::uint32_t length = u32();
+        need(length);
+        std::string text(reinterpret_cast<const char*>(data.data() + pos),
+                         length);
+        pos += length;
+        return text;
+    }
+    /// Sequence-count guard: each element occupies >= `min_element_bytes`,
+    /// so a forged count larger than the remaining buffer is rejected
+    /// before any allocation.
+    std::uint32_t count(std::size_t min_element_bytes) {
+        const std::uint32_t n = u32();
+        if (min_element_bytes > 0 &&
+            n > (data.size() - pos) / min_element_bytes)
+            throw WireFormatError("wire sequence count exceeds buffer");
+        return n;
+    }
+};
+
+// -- framing ------------------------------------------------------------------
+
+Writer begin_message(MessageKind kind) {
+    Writer writer;
+    writer.u32(kMagic);
+    writer.u16(kVersion);
+    writer.u8(static_cast<std::uint8_t>(kind));
+    return writer;
+}
+
+Buffer seal_message(Writer writer) {
+    writer.u64(fnv1a(writer.out));
+    return std::move(writer.out);
+}
+
+/// Validate framing (length, magic, checksum, version, kind) and return a
+/// reader positioned at the payload, spanning exactly the payload bytes.
+Reader open_message(std::span<const std::uint8_t> buffer, MessageKind kind) {
+    if (buffer.size() < kHeaderBytes + kChecksumBytes)
+        throw WireFormatError("wire buffer shorter than frame");
+    const auto body = buffer.first(buffer.size() - kChecksumBytes);
+    Reader frame{buffer};
+    if (frame.u32() != kMagic) throw WireFormatError("wire magic mismatch");
+    // Checksum before version: corruption must never masquerade as a
+    // version skew.
+    Reader trailer{buffer, buffer.size() - kChecksumBytes};
+    if (trailer.u64() != fnv1a(body))
+        throw WireFormatError("wire checksum mismatch");
+    const std::uint16_t version = frame.u16();
+    if (version != kVersion) throw WireVersionError(version, kVersion);
+    if (frame.u8() != static_cast<std::uint8_t>(kind))
+        throw WireFormatError("wire message kind mismatch");
+    return Reader{body, kHeaderBytes};
+}
+
+void expect_fully_consumed(const Reader& reader) {
+    if (reader.pos != reader.data.size())
+        throw WireFormatError("wire payload has trailing bytes");
+}
+
+// -- IR program ---------------------------------------------------------------
+
+void put_node(Writer& writer, const ir::Node& node) {
+    writer.u8(static_cast<std::uint8_t>(node.kind));
+    switch (node.kind) {
+        case ir::NodeKind::kBlock:
+            writer.u32(static_cast<std::uint32_t>(node.instrs.size()));
+            for (const auto& instr : node.instrs) {
+                writer.u8(static_cast<std::uint8_t>(instr.op));
+                writer.reg(instr.dst);
+                writer.reg(instr.a);
+                writer.reg(instr.b);
+                writer.reg(instr.c);
+                writer.u64(static_cast<std::uint64_t>(instr.imm));
+                writer.boolean(instr.secret);
+            }
+            break;
+        case ir::NodeKind::kSeq:
+            writer.u32(static_cast<std::uint32_t>(node.children.size()));
+            for (const auto& child : node.children) put_node(writer, *child);
+            break;
+        case ir::NodeKind::kIf:
+            writer.reg(node.cond);
+            writer.boolean(node.then_branch != nullptr);
+            writer.boolean(node.else_branch != nullptr);
+            if (node.then_branch) put_node(writer, *node.then_branch);
+            if (node.else_branch) put_node(writer, *node.else_branch);
+            break;
+        case ir::NodeKind::kLoop:
+            writer.i64(node.trip);
+            writer.i64(node.bound);
+            writer.reg(node.trip_reg);
+            writer.reg(node.index_reg);
+            writer.i64(node.stride);
+            writer.boolean(node.body != nullptr);
+            if (node.body) put_node(writer, *node.body);
+            break;
+        case ir::NodeKind::kCall:
+            writer.str(node.callee);
+            writer.u32(static_cast<std::uint32_t>(node.args.size()));
+            for (const ir::Reg arg : node.args) writer.reg(arg);
+            writer.reg(node.ret);
+            break;
+    }
+}
+
+ir::NodePtr get_node(Reader& reader, int depth) {
+    if (depth > kMaxNodeDepth)
+        throw WireFormatError("wire node tree nested too deeply");
+    const std::uint8_t kind_byte = reader.u8();
+    if (kind_byte > static_cast<std::uint8_t>(ir::NodeKind::kCall))
+        throw WireFormatError("wire node kind invalid");
+    auto node = std::make_unique<ir::Node>();
+    node->kind = static_cast<ir::NodeKind>(kind_byte);
+    switch (node->kind) {
+        case ir::NodeKind::kBlock: {
+            const std::uint32_t n = reader.count(22);  // bytes per instr
+            node->instrs.reserve(n);
+            for (std::uint32_t i = 0; i < n; ++i) {
+                ir::Instr instr;
+                const std::uint8_t op = reader.u8();
+                if (op >= ir::kNumOpcodes)
+                    throw WireFormatError("wire opcode invalid");
+                instr.op = static_cast<ir::Opcode>(op);
+                instr.dst = reader.reg();
+                instr.a = reader.reg();
+                instr.b = reader.reg();
+                instr.c = reader.reg();
+                instr.imm = reader.i64();
+                instr.secret = reader.boolean();
+                node->instrs.push_back(instr);
+            }
+            break;
+        }
+        case ir::NodeKind::kSeq: {
+            const std::uint32_t n = reader.count(1);
+            node->children.reserve(n);
+            for (std::uint32_t i = 0; i < n; ++i)
+                node->children.push_back(get_node(reader, depth + 1));
+            break;
+        }
+        case ir::NodeKind::kIf: {
+            node->cond = reader.reg();
+            const bool has_then = reader.boolean();
+            const bool has_else = reader.boolean();
+            if (has_then) node->then_branch = get_node(reader, depth + 1);
+            if (has_else) node->else_branch = get_node(reader, depth + 1);
+            break;
+        }
+        case ir::NodeKind::kLoop: {
+            node->trip = reader.i64();
+            node->bound = reader.i64();
+            node->trip_reg = reader.reg();
+            node->index_reg = reader.reg();
+            node->stride = reader.i64();
+            if (reader.boolean()) node->body = get_node(reader, depth + 1);
+            break;
+        }
+        case ir::NodeKind::kCall: {
+            node->callee = reader.str();
+            const std::uint32_t n = reader.count(4);
+            node->args.reserve(n);
+            for (std::uint32_t i = 0; i < n; ++i)
+                node->args.push_back(reader.reg());
+            node->ret = reader.reg();
+            break;
+        }
+    }
+    return node;
+}
+
+void put_program(Writer& writer, const ir::Program& program) {
+    writer.u64(program.memory_words);
+    writer.u32(static_cast<std::uint32_t>(program.functions.size()));
+    // std::map iteration: name order, canonical on both sides.
+    for (const auto& [name, fn] : program.functions) {
+        writer.str(name);
+        writer.i64(fn.param_count);
+        writer.i64(fn.reg_count);
+        writer.reg(fn.ret_reg);
+        writer.boolean(fn.body != nullptr);
+        if (fn.body) put_node(writer, *fn.body);
+    }
+}
+
+ir::Program get_program(Reader& reader) {
+    ir::Program program;
+    program.memory_words = reader.u64();
+    const std::uint32_t n = reader.count(4);
+    std::string previous_name;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        ir::Function fn;
+        fn.name = reader.str();
+        // The encoder emits functions in strict map order; accepting
+        // duplicates or unsorted names would break the byte-exact
+        // encode(decode(b)) == b guarantee.
+        if (i > 0 && fn.name <= previous_name)
+            throw WireFormatError(
+                "wire program functions not in canonical order");
+        previous_name = fn.name;
+        fn.param_count = static_cast<int>(reader.i64());
+        fn.reg_count = static_cast<int>(reader.i64());
+        fn.ret_reg = reader.reg();
+        if (reader.boolean()) fn.body = get_node(reader, 0);
+        program.functions[fn.name] = std::move(fn);
+    }
+    return program;
+}
+
+// -- compiler / profiler payloads --------------------------------------------
+
+void put_task_version(Writer& writer, const compiler::TaskVersion& version) {
+    const auto& config = version.config;
+    writer.boolean(config.fold);
+    writer.boolean(config.cse_pass);
+    writer.boolean(config.strength);
+    writer.boolean(config.dce_pass);
+    writer.boolean(config.inline_calls_pass);
+    writer.boolean(config.licm);
+    writer.i64(config.unroll_factor);
+    writer.u8(static_cast<std::uint8_t>(config.security));
+    writer.u64(config.opp_index);
+    writer.boolean(version.analysable);
+    writer.f64(version.wcet_s);
+    writer.f64(version.wcec_j);
+    writer.f64(version.time_s);
+    writer.f64(version.energy_j);
+    writer.f64(version.energy_dynamic_j);
+    writer.f64(version.leakage);
+    writer.i64(version.static_instrs);
+    writer.boolean(version.program != nullptr);
+    if (version.program) put_program(writer, *version.program);
+}
+
+compiler::TaskVersion get_task_version(Reader& reader) {
+    compiler::TaskVersion version;
+    auto& config = version.config;
+    config.fold = reader.boolean();
+    config.cse_pass = reader.boolean();
+    config.strength = reader.boolean();
+    config.dce_pass = reader.boolean();
+    config.inline_calls_pass = reader.boolean();
+    config.licm = reader.boolean();
+    config.unroll_factor = static_cast<int>(reader.i64());
+    const std::uint8_t security = reader.u8();
+    if (security > static_cast<std::uint8_t>(compiler::SecurityLevel::kLadder))
+        throw WireFormatError("wire security level invalid");
+    config.security = static_cast<compiler::SecurityLevel>(security);
+    config.opp_index = reader.u64();
+    version.analysable = reader.boolean();
+    version.wcet_s = reader.f64();
+    version.wcec_j = reader.f64();
+    version.time_s = reader.f64();
+    version.energy_j = reader.f64();
+    version.energy_dynamic_j = reader.f64();
+    version.leakage = reader.f64();
+    version.static_instrs = static_cast<int>(reader.i64());
+    if (reader.boolean())
+        version.program =
+            std::make_shared<const ir::Program>(get_program(reader));
+    return version;
+}
+
+void put_estimate(Writer& writer, const profiler::Estimate& estimate) {
+    writer.f64(estimate.mean);
+    writer.f64(estimate.stddev);
+    writer.f64(estimate.p95);
+    writer.f64(estimate.max);
+}
+
+profiler::Estimate get_estimate(Reader& reader) {
+    profiler::Estimate estimate;
+    estimate.mean = reader.f64();
+    estimate.stddev = reader.f64();
+    estimate.p95 = reader.f64();
+    estimate.max = reader.f64();
+    return estimate;
+}
+
+void put_profile(Writer& writer, const profiler::TaskProfile& profile) {
+    writer.str(profile.function);
+    writer.i64(profile.runs);
+    put_estimate(writer, profile.time_s);
+    put_estimate(writer, profile.energy_j);
+    put_estimate(writer, profile.cycles);
+}
+
+profiler::TaskProfile get_profile(Reader& reader) {
+    profiler::TaskProfile profile;
+    profile.function = reader.str();
+    profile.runs = static_cast<int>(reader.i64());
+    profile.time_s = get_estimate(reader);
+    profile.energy_j = get_estimate(reader);
+    profile.cycles = get_estimate(reader);
+    return profile;
+}
+
+void put_cache_stats(Writer& writer, const EvaluationCache::Stats& stats) {
+    writer.u64(stats.hits);
+    writer.u64(stats.misses);
+    writer.u64(stats.evictions);
+    writer.u64(stats.entries);
+    writer.f64(stats.resident_cost);
+}
+
+EvaluationCache::Stats get_cache_stats(Reader& reader) {
+    EvaluationCache::Stats stats;
+    stats.hits = reader.u64();
+    stats.misses = reader.u64();
+    stats.evictions = reader.u64();
+    stats.entries = reader.u64();
+    stats.resident_cost = reader.f64();
+    return stats;
+}
+
+void put_telemetry(Writer& writer, const StageTelemetry& telemetry) {
+    writer.u32(static_cast<std::uint32_t>(telemetry.stages().size()));
+    for (const auto& [name, stage] : telemetry.stages()) {
+        writer.str(name);
+        writer.u64(stage.count);
+        writer.f64(stage.total_s);
+        writer.f64(stage.max_s);
+    }
+}
+
+StageTelemetry get_telemetry(Reader& reader) {
+    StageTelemetry telemetry;
+    const std::uint32_t n = reader.count(28);  // name len + 3 scalars
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::string name = reader.str();
+        StageTelemetry::PerStage stage;
+        stage.count = reader.u64();
+        stage.total_s = reader.f64();
+        stage.max_s = reader.f64();
+        telemetry.merge(name, stage);
+    }
+    return telemetry;
+}
+
+}  // namespace
+
+// -- public surface -----------------------------------------------------------
+
+Buffer encode(const EvaluationKey& key) {
+    Writer writer = begin_message(MessageKind::kKey);
+    writer.u64(key.structural_fp);
+    writer.str(key.entry);
+    writer.str(key.core_class);
+    writer.u64(key.opp_index);
+    writer.u8(static_cast<std::uint8_t>(key.kind));
+    writer.u64(key.params);
+    return seal_message(std::move(writer));
+}
+
+EvaluationKey decode_key(std::span<const std::uint8_t> buffer) {
+    Reader reader = open_message(buffer, MessageKind::kKey);
+    EvaluationKey key;
+    key.structural_fp = reader.u64();
+    key.entry = reader.str();
+    key.core_class = reader.str();
+    key.opp_index = reader.u64();
+    const std::uint8_t kind = reader.u8();
+    if (kind > static_cast<std::uint8_t>(AnalysisKind::kTaint))
+        throw WireFormatError("wire analysis kind invalid");
+    key.kind = static_cast<AnalysisKind>(kind);
+    key.params = reader.u64();
+    expect_fully_consumed(reader);
+    return key;
+}
+
+Buffer encode(const EvaluationResult& result) {
+    Writer writer = begin_message(MessageKind::kResult);
+    writer.boolean(result.front != nullptr);
+    if (result.front) {
+        writer.u32(static_cast<std::uint32_t>(result.front->size()));
+        for (const auto& version : *result.front)
+            put_task_version(writer, version);
+    }
+    put_profile(writer, result.profile);
+    writer.f64(result.leakage);
+    return seal_message(std::move(writer));
+}
+
+EvaluationResult decode_result(std::span<const std::uint8_t> buffer) {
+    Reader reader = open_message(buffer, MessageKind::kResult);
+    EvaluationResult result;
+    if (reader.boolean()) {
+        const std::uint32_t n = reader.count(16);
+        std::vector<compiler::TaskVersion> versions;
+        versions.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            versions.push_back(get_task_version(reader));
+        result.front =
+            std::make_shared<const std::vector<compiler::TaskVersion>>(
+                std::move(versions));
+    }
+    result.profile = get_profile(reader);
+    result.leakage = reader.f64();
+    expect_fully_consumed(reader);
+    return result;
+}
+
+Buffer encode(const StageTelemetry& telemetry) {
+    Writer writer = begin_message(MessageKind::kTelemetry);
+    put_telemetry(writer, telemetry);
+    return seal_message(std::move(writer));
+}
+
+StageTelemetry decode_telemetry(std::span<const std::uint8_t> buffer) {
+    Reader reader = open_message(buffer, MessageKind::kTelemetry);
+    StageTelemetry telemetry = get_telemetry(reader);
+    expect_fully_consumed(reader);
+    return telemetry;
+}
+
+Buffer encode(const BatchStats& stats) {
+    Writer writer = begin_message(MessageKind::kBatchStats);
+    writer.u64(stats.scenarios);
+    writer.u64(stats.workers);
+    writer.f64(stats.wall_s);
+    writer.f64(stats.scenarios_per_s);
+    put_cache_stats(writer, stats.cache);
+    put_telemetry(writer, stats.stage_telemetry);
+    return seal_message(std::move(writer));
+}
+
+BatchStats decode_batch_stats(std::span<const std::uint8_t> buffer) {
+    Reader reader = open_message(buffer, MessageKind::kBatchStats);
+    BatchStats stats;
+    stats.scenarios = reader.u64();
+    stats.workers = reader.u64();
+    stats.wall_s = reader.f64();
+    stats.scenarios_per_s = reader.f64();
+    stats.cache = get_cache_stats(reader);
+    stats.stage_telemetry = get_telemetry(reader);
+    expect_fully_consumed(reader);
+    return stats;
+}
+
+}  // namespace teamplay::core::wire

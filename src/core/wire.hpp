@@ -1,0 +1,85 @@
+// Versioned, endian-stable binary wire codec for the service core.
+//
+// The distributed follow-on to in-process sharding (DESIGN.md §8) moves
+// memoised evaluation results and merged telemetry between hosts; this
+// codec defines the byte format those messages travel in.  Four message
+// types are covered — `EvaluationKey`, `EvaluationResult` (including full
+// IR programs inside compiled task versions), `StageTelemetry` and
+// `BatchStats` — with strict round-trip guarantees:
+//
+//   decode(encode(x)) == x   field-for-field (doubles bit-exact),
+//   encode(decode(b)) == b   byte-for-byte for any accepted buffer.
+//
+// Layout (all integers little-endian regardless of host endianness;
+// doubles are their IEEE-754 bit pattern as a little-endian u64):
+//
+//   u32  magic      0x5450_4C57 ("TPLW")
+//   u16  version    kVersion — decoder rejects any other value
+//   u8   kind       message discriminator (key/result/telemetry/batch)
+//   ...  payload    message-specific, length-prefixed strings/sequences
+//   u64  checksum   FNV-1a 64 of every preceding byte
+//
+// Strictness: the decoder bounds-checks every read, validates every enum
+// and bool byte, rejects trailing garbage, and verifies the trailing
+// checksum before interpreting the payload — a truncated or corrupted
+// buffer raises WireFormatError, never a partially-filled value.  A valid
+// buffer from a different codec generation raises WireVersionError (the
+// version field is checked only after the checksum proves the buffer
+// intact, so corruption is never misreported as a version skew).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/scenario_engine.hpp"
+
+namespace teamplay::core::wire {
+
+/// Current wire format generation.  Bump on any layout change.
+inline constexpr std::uint16_t kVersion = 1;
+
+/// Base class of every codec error.
+class WireError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Truncated buffer, checksum mismatch, bad magic, invalid enum/bool
+/// byte, or trailing garbage.
+class WireFormatError : public WireError {
+public:
+    using WireError::WireError;
+};
+
+/// Structurally intact message written by a different codec generation.
+class WireVersionError : public WireError {
+public:
+    WireVersionError(std::uint16_t found, std::uint16_t expected)
+        : WireError("wire version mismatch: found " + std::to_string(found) +
+                    ", expected " + std::to_string(expected)),
+          found_(found) {}
+    [[nodiscard]] std::uint16_t found() const { return found_; }
+
+private:
+    std::uint16_t found_;
+};
+
+using Buffer = std::vector<std::uint8_t>;
+
+[[nodiscard]] Buffer encode(const EvaluationKey& key);
+[[nodiscard]] Buffer encode(const EvaluationResult& result);
+[[nodiscard]] Buffer encode(const StageTelemetry& telemetry);
+[[nodiscard]] Buffer encode(const BatchStats& stats);
+
+[[nodiscard]] EvaluationKey decode_key(std::span<const std::uint8_t> buffer);
+[[nodiscard]] EvaluationResult decode_result(
+    std::span<const std::uint8_t> buffer);
+[[nodiscard]] StageTelemetry decode_telemetry(
+    std::span<const std::uint8_t> buffer);
+[[nodiscard]] BatchStats decode_batch_stats(
+    std::span<const std::uint8_t> buffer);
+
+}  // namespace teamplay::core::wire

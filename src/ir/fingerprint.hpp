@@ -1,0 +1,53 @@
+// Canonical structural fingerprint of a task entry function.
+//
+// `structural_fingerprint` hashes the sub-program *reachable from one entry
+// function* — the instruction DAG the analysers, the profiler and the taint
+// pass actually consume — in a canonical form, so that two applications
+// embedding the same kernel produce the same fingerprint even when the rest
+// of their programs differ.  This is what lets the evaluation cache memoise
+// compiled fronts and profiles *across* programs (ΔELTA-style reuse: one
+// front compiled, every app that ships the kernel hits).
+//
+// What is canonicalised (rename-insensitive):
+//   * virtual register names: non-parameter registers are renumbered by
+//     first encounter along a fixed pre-order traversal, so an alpha-renamed
+//     clone of a kernel collides with the original.  Parameter registers are
+//     pinned (r0..r(n-1) is positional ABI, renaming them changes meaning).
+//   * the entry function's own name: only its body is hashed, so a
+//     relabelled clone (same body, different name) collides.  (A
+//     *recursive* entry would see its own name at the self-call site and
+//     not collide, but the validator rejects cyclic call graphs, so no
+//     valid program hits that case.)
+//   * `Function::reg_count`: register-file size does not change the value
+//     semantics of a valid function.
+//
+// What is deliberately load-bearing (two kernels differing here must NOT
+// collide, because the difference is observable in engine output bytes):
+//   * callee names: certificate proof trees print "call <name>" notes, so a
+//     cached compiled front is only reusable when call labels match;
+//   * `Program::memory_words`: the simulator faults on out-of-range access,
+//     so the memory size is part of a kernel's dynamic semantics;
+//   * every opcode, immediate, loop trip/bound/stride and `secret` tag.
+//
+// Determinism contract: any two (program, entry) pairs with equal
+// fingerprints produce byte-identical analyser/profiler/contract output,
+// which is what makes it safe to key the engine's EvaluationCache on the
+// fingerprint — whichever scenario computes a key first, every other
+// scenario observes the same bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace teamplay::ir {
+
+/// Canonical structural hash of `entry` and everything it transitively
+/// calls inside `program`.  Never throws: a missing entry function hashes
+/// to a distinct "unresolved" fingerprint of the name alone, so callers can
+/// build cache keys eagerly and let the analysis itself report the error.
+[[nodiscard]] std::uint64_t structural_fingerprint(const Program& program,
+                                                   const std::string& entry);
+
+}  // namespace teamplay::ir

@@ -162,6 +162,51 @@ UseCaseApp make_uav_app(const std::string& platform_name) {
     return app;
 }
 
+UseCaseApp make_rover_app(const std::string& platform_name) {
+    using namespace uav;  // the perception stack shares the UAV memory map
+    UseCaseApp app;
+    app.name = "rover_inspect";
+    app.platform = platform::by_name(platform_name);
+
+    ir::Program program;
+    program.memory_words = 32768;  // must match the UAV map for kernel reuse
+    // Shared perception kernels: byte-for-byte the same builder calls as
+    // make_uav_app, so their entry DAGs are structurally identical and the
+    // evaluation cache serves one compiled front / profile to both apps.
+    program.add(make_capture("uav_capture", kImg, kWidth, kHeight, kState));
+    program.add(make_bin2x2("uav_resize", kImg, kSmall, kWidth, kHeight));
+    program.add(make_sobel_detect("uav_detect", kSmall, kDet, kSmallW,
+                                  kSmallH, kHits, kThreshold));
+    // Rover-specific tail: RLE-compress the detection map into a field map
+    // and checksum-log it (slow ground platform: mapping, not downlink).
+    program.add(make_rle_compress("rover_map", kDet, rover::kMap, kSmallW *
+                                  kSmallH, rover::kMapLen));
+    program.add(make_transmit("rover_log", rover::kMap, rover::kMapLen,
+                              rover::kMapCap, rover::kLogCrc));
+    app.program = std::move(program);
+
+    app.csl_source = "# Ground rover crop inspection (UAV perception stack "
+                     "re-deployed)\n"
+                     "app rover_inspect on " +
+                     platform_name + R"( deadline 500ms {
+  task capture { entry uav_capture; period 500ms; deadline 120ms;
+                 budget time 80ms; budget energy 400mJ; core_class big; }
+  task resize  { entry uav_resize;  period 500ms; deadline 200ms;
+                 budget time 80ms; budget energy 400mJ; core_class big;
+                 after capture; }
+  task detect  { entry uav_detect;  period 500ms; deadline 320ms;
+                 budget time 120ms; budget energy 500mJ; after resize; }
+  task map     { entry rover_map;   period 500ms; deadline 430ms;
+                 budget time 100ms; budget energy 450mJ; core_class big;
+                 after detect; }
+  task log     { entry rover_log;   period 500ms; deadline 500ms;
+                 budget time 80ms; budget energy 400mJ; core_class big;
+                 after map; }
+}
+)";
+    return app;
+}
+
 UseCaseApp make_parking_app(bool on_m0) {
     using namespace parking;
     UseCaseApp app;

@@ -90,6 +90,27 @@ inline constexpr std::int64_t kThreshold = 220;
 [[nodiscard]] UseCaseApp make_uav_app(
     const std::string& platform_name = "apalis-tk1");
 
+// -- Ground rover crop inspection (service-trace companion to the UAV) --------
+//
+// The rover deploys the *same* perception stack as the UAV use case —
+// capture, 2x2 binning, Sobel detection, identical memory map — followed by
+// a rover-specific mapping tail (RLE field map + logging checksum).  Two
+// different programs therefore embed structurally identical kernels, which
+// is exactly the cross-program memoisation case: one compiled front /
+// profile per shared kernel serves both apps.
+namespace rover {
+inline constexpr std::int64_t kMapPixels = uav::kSmallW * uav::kSmallH;
+inline constexpr std::int64_t kMap = uav::kDl;       ///< RLE field map
+inline constexpr std::int64_t kMapCap = 2 * kMapPixels + 2;
+inline constexpr std::int64_t kMapLen = uav::kDlLen;
+inline constexpr std::int64_t kLogCrc = uav::kDlCrc;
+}  // namespace rover
+
+/// `platform_name`: same boards as the UAV (the shared perception kernels
+/// only share cache entries when both apps target the same core models).
+[[nodiscard]] UseCaseApp make_rover_app(
+    const std::string& platform_name = "apalis-tk1");
+
 // -- Deep-learning parking detection (Sec. IV-D) -------------------------------
 namespace parking {
 inline constexpr std::int64_t kInW = 16;

@@ -1,0 +1,303 @@
+// Canonical structural fingerprint (ir/fingerprint.hpp): rename/label
+// insensitivity, mutation sensitivity, the documented load-bearing fields
+// (callee names, memory size), and the end-to-end consequence — two
+// applications embedding the same kernel share evaluation-cache entries
+// without changing a single certificate byte.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "core/scenario_engine.hpp"
+#include "ir/builder.hpp"
+#include "ir/fingerprint.hpp"
+#include "ir/program.hpp"
+#include "usecases/apps.hpp"
+#include "usecases/kernels.hpp"
+
+namespace {
+
+using namespace teamplay;
+
+/// A representative kernel: loop + branch + call + secret data.
+ir::Function make_kernel(const std::string& name,
+                         const std::string& helper) {
+    ir::FunctionBuilder b(name, 2);
+    const auto base = b.param(0);
+    const auto key = b.secret(b.param(1));
+    auto acc = b.imm(0);
+    const auto index = b.loop_begin(8);
+    const auto word = b.load(b.add(base, index), 4);
+    const auto mixed = b.call(helper, {word, key});
+    const auto odd = b.and_imm(mixed, 1);
+    b.if_begin(odd);
+    b.store(base, mixed, 16);
+    b.if_else();
+    b.store(base, acc, 17);
+    b.if_end();
+    b.assign(acc, b.bxor(acc, mixed));
+    b.loop_end();
+    b.ret(acc);
+    return b.build();
+}
+
+ir::Function make_helper(const std::string& name) {
+    ir::FunctionBuilder b(name, 2);
+    b.ret(b.add(b.mul_imm(b.param(0), 31), b.param(1)));
+    return b.build();
+}
+
+ir::Program make_program(const std::string& entry,
+                         const std::string& helper) {
+    ir::Program program;
+    program.memory_words = 4096;
+    program.add(make_kernel(entry, helper));
+    program.add(make_helper(helper));
+    return program;
+}
+
+/// Apply a register renaming to every register slot of a function.
+template <typename Fn>
+void remap_registers(ir::Function& fn, Fn&& map) {
+    fn.ret_reg = map(fn.ret_reg);
+    ir::visit(*fn.body, [&map](ir::Node& node) {
+        node.cond = map(node.cond);
+        node.trip_reg = map(node.trip_reg);
+        node.index_reg = map(node.index_reg);
+        node.ret = map(node.ret);
+        for (auto& arg : node.args) arg = map(arg);
+        for (auto& instr : node.instrs) {
+            instr.dst = map(instr.dst);
+            instr.a = map(instr.a);
+            instr.b = map(instr.b);
+            instr.c = map(instr.c);
+        }
+    });
+}
+
+std::uint64_t fp(const ir::Program& program, const std::string& entry) {
+    return ir::structural_fingerprint(program, entry);
+}
+
+// -- canonicalisation ---------------------------------------------------------
+
+TEST(StructuralFingerprint, IgnoresUnrelatedFunctionsInTheProgram) {
+    auto lean = make_program("kernel", "helper");
+    auto fat = make_program("kernel", "helper");
+    fat.add(make_helper("unrelated_extra"));
+    EXPECT_EQ(fp(lean, "kernel"), fp(fat, "kernel"));
+}
+
+TEST(StructuralFingerprint, AlphaRenamedRegistersCollide) {
+    const auto original = make_program("kernel", "helper");
+    auto renamed = make_program("kernel", "helper");
+    auto* kernel = renamed.find("kernel");
+    // Shift every non-parameter register up by 11: a semantics-preserving
+    // alpha-renaming of the temporaries.
+    remap_registers(*kernel, [&](ir::Reg reg) {
+        if (reg == ir::kNoReg || reg < kernel->param_count) return reg;
+        return static_cast<ir::Reg>(reg + 11);
+    });
+    kernel->reg_count += 11;
+    EXPECT_EQ(fp(original, "kernel"), fp(renamed, "kernel"));
+}
+
+TEST(StructuralFingerprint, RelabelledEntryCollides) {
+    const auto original = make_program("kernel", "helper");
+    auto relabelled = make_program("kernel", "helper");
+    auto renamed = *relabelled.find("kernel");
+    renamed.name = "kernel_v2";
+    relabelled.functions.erase("kernel");
+    relabelled.add(std::move(renamed));
+    EXPECT_EQ(fp(original, "kernel"), fp(relabelled, "kernel_v2"));
+}
+
+TEST(StructuralFingerprint, ParameterRegistersArePinned) {
+    // f(a, b) = a - b and f(a, b) = b - a are different functions even
+    // though a blind renaming maps one onto the other: parameters are
+    // positional, so the canonicaliser must not erase their identity.
+    ir::FunctionBuilder lhs("f", 2);
+    lhs.ret(lhs.sub(lhs.param(0), lhs.param(1)));
+    ir::FunctionBuilder rhs("f", 2);
+    rhs.ret(rhs.sub(rhs.param(1), rhs.param(0)));
+    ir::Program a;
+    a.add(lhs.build());
+    ir::Program b;
+    b.add(rhs.build());
+    EXPECT_NE(fp(a, "f"), fp(b, "f"));
+}
+
+// -- mutation sensitivity -----------------------------------------------------
+
+TEST(StructuralFingerprint, OneInstructionMutationDiffers) {
+    const auto original = make_program("kernel", "helper");
+
+    auto imm_mutant = make_program("kernel", "helper");
+    ir::for_each_instr(*imm_mutant.find("kernel")->body,
+                       [mutated = false](ir::Instr& instr) mutable {
+                           if (!mutated && instr.op == ir::Opcode::kLoad) {
+                               instr.imm += 1;
+                               mutated = true;
+                           }
+                       });
+    EXPECT_NE(fp(original, "kernel"), fp(imm_mutant, "kernel"));
+
+    auto op_mutant = make_program("kernel", "helper");
+    ir::for_each_instr(*op_mutant.find("helper")->body,
+                       [](ir::Instr& instr) {
+                           if (instr.op == ir::Opcode::kAdd)
+                               instr.op = ir::Opcode::kSub;
+                       });
+    EXPECT_NE(fp(original, "kernel"), fp(op_mutant, "kernel"));
+
+    auto secret_mutant = make_program("kernel", "helper");
+    ir::for_each_instr(*secret_mutant.find("kernel")->body,
+                       [](ir::Instr& instr) { instr.secret = false; });
+    EXPECT_NE(fp(original, "kernel"), fp(secret_mutant, "kernel"));
+}
+
+TEST(StructuralFingerprint, LoopBoundParticipates) {
+    auto original = make_program("kernel", "helper");
+    auto mutant = make_program("kernel", "helper");
+    ir::visit(*mutant.find("kernel")->body, [](ir::Node& node) {
+        if (node.kind == ir::NodeKind::kLoop) node.bound += 1;
+    });
+    EXPECT_NE(fp(original, "kernel"), fp(mutant, "kernel"));
+}
+
+// -- documented load-bearing fields ------------------------------------------
+
+TEST(StructuralFingerprint, CalleeNamesAreLoadBearing) {
+    // Certificate proofs print "call <name>" notes, so kernels that differ
+    // only in a helper's label must not share cached analysis results.
+    const auto original = make_program("kernel", "helper");
+    const auto renamed_callee = make_program("kernel", "helper_v2");
+    EXPECT_NE(fp(original, "kernel"), fp(renamed_callee, "kernel"));
+}
+
+TEST(StructuralFingerprint, MemoryWordsAreLoadBearing) {
+    const auto original = make_program("kernel", "helper");
+    auto resized = make_program("kernel", "helper");
+    resized.memory_words *= 2;
+    EXPECT_NE(fp(original, "kernel"), fp(resized, "kernel"));
+}
+
+TEST(StructuralFingerprint, MissingEntryHashesWithoutThrowing) {
+    const auto program = make_program("kernel", "helper");
+    const auto unresolved = fp(program, "absent");
+    EXPECT_NE(unresolved, fp(program, "kernel"));
+    EXPECT_NE(unresolved, fp(program, "also_absent"));
+}
+
+// -- end-to-end: cross-program memoisation ------------------------------------
+
+core::WorkflowOptions fast_options() {
+    core::WorkflowOptions options;
+    options.compiler.population = 4;
+    options.compiler.iterations = 4;
+    options.profile_runs = 5;
+    options.scheduler.anneal_iterations = 60;
+    return options;
+}
+
+core::ScenarioRequest request_for(const usecases::UseCaseApp& app) {
+    core::ScenarioRequest request;
+    request.program = &app.program;
+    request.platform = &app.platform;
+    request.csl_source = app.csl_source;
+    request.options = fast_options();
+    request.label = app.name;
+    return request;
+}
+
+TEST(CrossProgramMemoisation, SharedKernelsHitAcrossApps) {
+    const auto uav = usecases::make_uav_app("apalis-tk1");
+    const auto rover = usecases::make_rover_app("apalis-tk1");
+
+    // The shared perception kernels really are structurally identical
+    // across the two programs (different whole-program content).
+    for (const char* entry : {"uav_capture", "uav_resize", "uav_detect"})
+        EXPECT_EQ(fp(uav.program, entry), fp(rover.program, entry))
+            << entry;
+    EXPECT_NE(core::fingerprint_program(uav.program),
+              core::fingerprint_program(rover.program));
+
+    // Isolated baselines: every key misses once per app.
+    core::ScenarioEngine uav_engine;
+    const auto uav_report = uav_engine.run(request_for(uav));
+    const auto uav_misses = uav_engine.cache_stats().misses;
+
+    core::ScenarioEngine rover_engine;
+    const auto rover_report = rover_engine.run(request_for(rover));
+    const auto rover_misses = rover_engine.cache_stats().misses;
+
+    // Shared engine: the rover re-uses every evaluation of the kernels the
+    // UAV already analysed — strictly fewer misses, at least one hit from
+    // a key the *other* program created.
+    core::ScenarioEngine shared;
+    const auto uav_joint = shared.run(request_for(uav));
+    const auto misses_after_uav = shared.cache_stats().misses;
+    EXPECT_EQ(misses_after_uav, uav_misses);
+    const auto rover_joint = shared.run(request_for(rover));
+    const auto rover_joint_misses =
+        shared.cache_stats().misses - misses_after_uav;
+    EXPECT_LT(rover_joint_misses, rover_misses);
+
+    // Cross-program serving changes no output byte.
+    EXPECT_EQ(uav_joint.certificate.to_text(),
+              uav_report.certificate.to_text());
+    EXPECT_EQ(rover_joint.certificate.to_text(),
+              rover_report.certificate.to_text());
+    EXPECT_EQ(rover_joint.summary(), rover_report.summary());
+}
+
+TEST(CrossProgramMemoisation, CompiledFrontSharedAcrossPrograms) {
+    // Predictable-flow variant ("one front compiled"): two synthetic apps
+    // on the same predictable board embed the same kernel next to
+    // different siblings; the second scenario's front is a pure cache hit.
+    const auto pill = usecases::make_camera_pill_app();
+
+    ir::Program app_a;
+    app_a.memory_words = 4096;
+    app_a.add(make_kernel("shared_kernel", "shared_helper"));
+    app_a.add(make_helper("shared_helper"));
+    app_a.add(make_helper("a_only"));
+
+    ir::Program app_b;
+    app_b.memory_words = 4096;
+    app_b.add(make_kernel("shared_kernel", "shared_helper"));
+    app_b.add(make_helper("shared_helper"));
+    app_b.add(make_kernel("b_only", "shared_helper"));
+
+    const std::string csl =
+        "app shared_kernel_app on " + pill.platform.name +
+        " deadline 500ms {\n"
+        "  task main { entry shared_kernel; period 500ms; deadline 400ms;"
+        " core_class mcu; }\n"
+        "}\n";
+
+    core::ScenarioEngine engine;
+    core::ScenarioRequest request;
+    request.platform = &pill.platform;
+    request.csl_source = csl;
+    request.options = fast_options();
+
+    request.program = &app_a;
+    request.label = "app_a";
+    const auto report_a = engine.run(request);
+    const auto after_a = engine.cache_stats();
+
+    request.program = &app_b;
+    request.label = "app_b";
+    const auto report_b = engine.run(request);
+    const auto after_b = engine.cache_stats();
+
+    // The front was compiled once: the second scenario added hits for the
+    // shared kernel's keys but not a single new miss.
+    EXPECT_EQ(after_b.misses, after_a.misses);
+    EXPECT_GT(after_b.hits, after_a.hits);
+    EXPECT_EQ(report_a.certificate.to_text(),
+              report_b.certificate.to_text());
+}
+
+}  // namespace

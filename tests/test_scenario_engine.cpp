@@ -60,9 +60,9 @@ TEST(ThreadPool, RethrowsBodyException) {
 
 // -- evaluation cache ---------------------------------------------------------
 
-core::EvaluationKey taint_key(std::uint64_t program_fp, const char* entry) {
+core::EvaluationKey taint_key(std::uint64_t structural_fp, const char* entry) {
     core::EvaluationKey key;
-    key.program_fp = program_fp;
+    key.structural_fp = structural_fp;
     key.entry = entry;
     key.kind = core::AnalysisKind::kTaint;
     return key;

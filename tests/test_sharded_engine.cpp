@@ -1,0 +1,279 @@
+// ShardedScenarioEngine (core/sharded_engine.hpp): fingerprint routing
+// stability, byte-identical certificates versus the single engine for any
+// shard count and cache budget, cross-program colocation, fold-based
+// merges of cache stats / telemetry / BatchStats, cancellation through the
+// router, and the error surface of malformed requests.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/sharded_engine.hpp"
+#include "csl/csl.hpp"
+#include "usecases/apps.hpp"
+
+namespace {
+
+using namespace teamplay;
+
+core::WorkflowOptions fast_options() {
+    core::WorkflowOptions options;
+    options.compiler.population = 4;
+    options.compiler.iterations = 4;
+    options.profile_runs = 5;
+    options.scheduler.anneal_iterations = 60;
+    return options;
+}
+
+core::ScenarioRequest request_for(const usecases::UseCaseApp& app,
+                                  const std::string& label = {}) {
+    core::ScenarioRequest request;
+    request.program = &app.program;
+    request.platform = &app.platform;
+    request.csl_source = app.csl_source;
+    request.options = fast_options();
+    request.label = label.empty() ? app.name : label;
+    return request;
+}
+
+struct Fleet {
+    std::vector<usecases::UseCaseApp> apps;
+    std::vector<core::ScenarioRequest> requests;
+};
+
+/// Mixed batch over all flows: 2 predictable apps, 2 complex apps (UAV and
+/// rover share their perception kernels), 2 option variants each.
+Fleet make_fleet() {
+    Fleet fleet;
+    fleet.apps.push_back(usecases::make_camera_pill_app());
+    fleet.apps.push_back(usecases::make_space_app());
+    fleet.apps.push_back(usecases::make_uav_app("apalis-tk1"));
+    fleet.apps.push_back(usecases::make_rover_app("apalis-tk1"));
+    for (const auto& app : fleet.apps)
+        for (const int variant : {0, 1}) {
+            auto request = request_for(
+                app, app.name + "/v" + std::to_string(variant));
+            if (variant == 1) request.options.scheduler.seed = 7;
+            fleet.requests.push_back(std::move(request));
+        }
+    return fleet;
+}
+
+// -- routing ------------------------------------------------------------------
+
+TEST(ShardRouter, StableAndSpecRepresentationIndependent) {
+    const auto uav = usecases::make_uav_app("apalis-tk1");
+    const core::ShardedScenarioEngine engine({.shards = 4});
+
+    const auto from_source = request_for(uav);
+    auto pre_parsed = request_for(uav);
+    pre_parsed.spec = csl::parse(uav.csl_source);
+
+    const auto shard = engine.shard_of(from_source);
+    EXPECT_EQ(shard, engine.shard_of(from_source));  // deterministic
+    EXPECT_EQ(shard, engine.shard_of(pre_parsed));   // representation-free
+    EXPECT_LT(shard, engine.shard_count());
+}
+
+TEST(ShardRouter, SameKernelScenariosColocate) {
+    // Option/label/scheduler variations of the same application analyse
+    // the same kernels, so they must land where the cache is warm.
+    const auto uav = usecases::make_uav_app("apalis-tk1");
+    const core::ShardedScenarioEngine engine({.shards = 4});
+    auto variant = request_for(uav, "variant");
+    variant.options.scheduler.seed = 99;
+    variant.options.profile_runs = 7;
+    EXPECT_EQ(engine.shard_of(request_for(uav)), engine.shard_of(variant));
+}
+
+TEST(ShardRouter, ShardCountZeroIsNormalisedToOne) {
+    const core::ShardedScenarioEngine engine({.shards = 0});
+    EXPECT_EQ(engine.shard_count(), 1U);
+}
+
+TEST(ShardRouter, WorkerThreadsDistributeAcrossShards) {
+    const core::ShardedScenarioEngine engine(
+        {.shards = 4, .worker_threads = 6});
+    // 6 workers split 2/2/1/1 plus one calling thread per shard.
+    EXPECT_EQ(engine.concurrency(), 10U);
+}
+
+// -- determinism: the acceptance criterion ------------------------------------
+
+TEST(ShardedEngine, CertificatesByteIdenticalForAnyShardCountAndBudget) {
+    const auto fleet = make_fleet();
+
+    core::ScenarioEngine reference;
+    const auto baseline = reference.run_all(fleet.requests);
+
+    for (const std::size_t shards : {1U, 2U, 4U}) {
+        for (const std::size_t budget : {0U, 3U}) {
+            core::ShardedScenarioEngine engine(
+                {.shards = shards,
+                 .worker_threads = 2,
+                 .cache_budget = {.max_entries = budget}});
+            const auto reports = engine.run_all(fleet.requests);
+            ASSERT_EQ(reports.size(), baseline.size());
+            for (std::size_t i = 0; i < reports.size(); ++i) {
+                EXPECT_EQ(reports[i].certificate.to_text(),
+                          baseline[i].certificate.to_text())
+                    << "shards=" << shards << " budget=" << budget
+                    << " scenario=" << fleet.requests[i].label;
+                EXPECT_EQ(reports[i].summary(), baseline[i].summary())
+                    << "shards=" << shards << " budget=" << budget;
+                EXPECT_EQ(reports[i].glue_code, baseline[i].glue_code);
+            }
+        }
+    }
+}
+
+TEST(ShardedEngine, CrossProgramHitsSurviveSharding) {
+    // The UAV and the rover share their primary kernel (uav_capture), so
+    // the router colocates them at any shard count and the mixed batch
+    // does strictly less work than isolated runs.
+    const auto uav = usecases::make_uav_app("apalis-tk1");
+    const auto rover = usecases::make_rover_app("apalis-tk1");
+
+    const core::ShardedScenarioEngine router({.shards = 4});
+    ASSERT_EQ(router.shard_of(request_for(uav)),
+              router.shard_of(request_for(rover)));
+
+    core::ScenarioEngine uav_alone;
+    (void)uav_alone.run(request_for(uav));
+    core::ScenarioEngine rover_alone;
+    (void)rover_alone.run(request_for(rover));
+    const auto isolated = uav_alone.cache_stats().misses +
+                          rover_alone.cache_stats().misses;
+
+    core::ShardedScenarioEngine engine({.shards = 4});
+    std::vector<core::ScenarioRequest> requests{request_for(uav),
+                                                request_for(rover)};
+    core::BatchStats stats;
+    (void)engine.run_all(requests, &stats);
+    EXPECT_LT(stats.cache.misses, isolated);
+    EXPECT_GT(stats.cache.hits, 0U);
+}
+
+// -- folds --------------------------------------------------------------------
+
+TEST(ShardedEngine, CacheStatsAreTheFoldOfShardSnapshots) {
+    const auto fleet = make_fleet();
+    core::ShardedScenarioEngine engine({.shards = 2});
+    (void)engine.run_all(fleet.requests);
+
+    core::EvaluationCache::Stats folded;
+    for (std::size_t shard = 0; shard < engine.shard_count(); ++shard)
+        folded.merge(engine.shard_cache_stats(shard));
+
+    const auto merged = engine.cache_stats();
+    EXPECT_EQ(merged.hits, folded.hits);
+    EXPECT_EQ(merged.misses, folded.misses);
+    EXPECT_EQ(merged.evictions, folded.evictions);
+    EXPECT_EQ(merged.entries, folded.entries);
+    EXPECT_EQ(merged.resident_cost, folded.resident_cost);
+    // Work actually happened, and both shards saw some of it (the fleet
+    // spans kernels with different fingerprints).
+    EXPECT_GT(merged.misses, 0U);
+}
+
+TEST(ShardedEngine, TelemetryFoldCountsEveryStageOfEveryScenario) {
+    const auto fleet = make_fleet();
+    core::ShardedScenarioEngine engine({.shards = 4});
+    core::BatchStats stats;
+    (void)engine.run_all(fleet.requests, &stats);
+
+    const auto telemetry = engine.stage_telemetry();
+    // 5 pipeline stages, one lap per scenario each.
+    ASSERT_EQ(telemetry.stages().size(), 5U);
+    for (const auto& [name, stage] : telemetry.stages())
+        EXPECT_EQ(stage.count, fleet.requests.size()) << name;
+    for (const auto& [name, stage] : stats.stage_telemetry.stages())
+        EXPECT_EQ(stage.count, fleet.requests.size()) << name;
+}
+
+TEST(ShardedEngine, BatchStatsMergeFoldsCountersAndTakesMaxWall) {
+    core::BatchStats a;
+    a.scenarios = 4;
+    a.workers = 2;
+    a.wall_s = 2.0;
+    a.cache.hits = 10;
+    a.cache.misses = 5;
+    a.stage_telemetry.record("parse", 0.5);
+
+    core::BatchStats b;
+    b.scenarios = 6;
+    b.workers = 3;
+    b.wall_s = 1.0;
+    b.cache.hits = 1;
+    b.cache.evictions = 2;
+    b.stage_telemetry.record("parse", 0.25);
+    b.stage_telemetry.record("certify", 0.125);
+
+    a.merge(b);
+    EXPECT_EQ(a.scenarios, 10U);
+    EXPECT_EQ(a.workers, 5U);
+    EXPECT_EQ(a.wall_s, 2.0);            // concurrent batches: max
+    EXPECT_EQ(a.scenarios_per_s, 5.0);   // re-derived from folded totals
+    EXPECT_EQ(a.cache.hits, 11U);
+    EXPECT_EQ(a.cache.misses, 5U);
+    EXPECT_EQ(a.cache.evictions, 2U);
+    EXPECT_EQ(a.stage_telemetry.stages().at("parse").count, 2U);
+    EXPECT_EQ(a.stage_telemetry.stages().at("parse").max_s, 0.5);
+    EXPECT_EQ(a.stage_telemetry.stages().at("certify").count, 1U);
+}
+
+// -- service surface ----------------------------------------------------------
+
+TEST(ShardedEngine, StreamingCompletionAndCancellation) {
+    const auto pill = usecases::make_camera_pill_app();
+    const auto space = usecases::make_space_app();
+    core::ShardedScenarioEngine engine({.shards = 2});  // caller-only
+
+    auto doomed = engine.submit(request_for(space));
+    doomed.cancel();  // before anything drains its shard
+
+    std::vector<std::string> completed;
+    auto ticket = engine.submit(
+        request_for(pill), [&](const core::ScenarioOutcome& outcome) {
+            completed.push_back(outcome.label);
+        });
+    auto report = ticket.get();
+    EXPECT_TRUE(report.certificate.all_hold());
+    EXPECT_EQ(completed, std::vector<std::string>{"camera_pill"});
+
+    EXPECT_THROW((void)doomed.get(), core::CancelledError);
+    // A cancelled request stays retryable on the same engine.
+    auto retried = engine.submit(request_for(space));
+    EXPECT_TRUE(retried.get().certificate.all_hold());
+}
+
+TEST(ShardedEngine, MalformedRequestsSurfaceThroughTickets) {
+    const auto pill = usecases::make_camera_pill_app();
+
+    core::ShardedScenarioEngine engine({.shards = 2});
+    auto bad_csl = request_for(pill);
+    bad_csl.csl_source = "app broken on nothing {";
+    auto csl_ticket = engine.submit(bad_csl);
+    EXPECT_THROW((void)csl_ticket.get(), csl::CslError);
+
+    core::ScenarioRequest no_program;
+    no_program.platform = &pill.platform;
+    no_program.csl_source = pill.csl_source;
+    auto program_ticket = engine.submit(no_program);
+    EXPECT_THROW((void)program_ticket.get(), std::invalid_argument);
+}
+
+TEST(ShardedEngine, ClearCachesResetsEveryShard) {
+    const auto fleet = make_fleet();
+    core::ShardedScenarioEngine engine({.shards = 2});
+    (void)engine.run_all(fleet.requests);
+    ASSERT_GT(engine.cache_stats().entries, 0U);
+    engine.clear_caches();
+    const auto cleared = engine.cache_stats();
+    EXPECT_EQ(cleared.entries, 0U);
+    EXPECT_EQ(cleared.hits, 0U);
+    EXPECT_EQ(cleared.misses, 0U);
+}
+
+}  // namespace

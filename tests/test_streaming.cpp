@@ -268,7 +268,7 @@ TEST(BoundedCache, EvictionKeepsCertificatesByteIdentical) {
 
 core::EvaluationKey scalar_key(std::uint64_t n) {
     core::EvaluationKey key;
-    key.program_fp = n;
+    key.structural_fp = n;
     key.entry = "f" + std::to_string(n);
     key.kind = core::AnalysisKind::kTaint;
     return key;
