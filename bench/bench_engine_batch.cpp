@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/scenario_engine.hpp"
 #include "usecases/apps.hpp"
 
@@ -118,6 +119,26 @@ bool print_table() {
                 identical == reports.size() ? "(OK)" : "(MISMATCH!)");
     std::printf("per-stage telemetry (engine path):\n%s\n",
                 stats.stage_telemetry.to_string().c_str());
+
+    using benchjson::Object;
+    using benchjson::Value;
+    benchjson::write_artifact(
+        "engine_batch",
+        Value(Object{
+            {"experiment", "engine_batch"},
+            {"scenarios", requests.size()},
+            {"legacy_s", legacy_s},
+            {"engine_s", engine_s},
+            {"speedup", legacy_s / engine_s},
+            {"workers", stats.workers},
+            {"scenarios_per_s", stats.scenarios_per_s},
+            {"cache", Value(Object{{"hits", stats.cache.hits},
+                                   {"misses", stats.cache.misses},
+                                   {"hit_ratio", stats.cache.hit_ratio()},
+                                   {"evictions", stats.cache.evictions},
+                                   {"entries", stats.cache.entries}})},
+            {"certificates_identical", identical == reports.size()},
+        }));
     return identical == reports.size();
 }
 

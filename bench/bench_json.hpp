@@ -1,0 +1,153 @@
+// Minimal machine-readable artifact writer for the bench binaries.
+//
+// Every experiment table that a human reads in the CI log is mirrored as a
+// BENCH_<name>.json file next to the binary, so the driver (and future
+// regression tooling) can track throughput trajectories without scraping
+// stdout.  The writer covers exactly what the artifacts need — ordered
+// objects, arrays, numbers, strings, booleans — with no external
+// dependency.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace teamplay::benchjson {
+
+class Value;
+using Object = std::vector<std::pair<std::string, Value>>;
+using Array = std::vector<Value>;
+
+/// One JSON value.  Objects preserve insertion order so artifacts diff
+/// cleanly run-to-run.
+class Value {
+public:
+    Value() : kind_(Kind::kNull) {}
+    Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+    Value(double d) : kind_(Kind::kNumber), number_(d) {}
+    Value(int i) : kind_(Kind::kNumber), number_(i) {}
+    Value(std::int64_t i)
+        : kind_(Kind::kNumber), number_(static_cast<double>(i)) {}
+    template <typename T,
+              typename = std::enable_if_t<std::is_unsigned_v<T>>>
+    Value(T u) : kind_(Kind::kNumber), number_(static_cast<double>(u)) {}
+    Value(const char* s) : kind_(Kind::kString), string_(s) {}
+    Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+    Value(Object members)
+        : kind_(Kind::kObject),
+          object_(std::make_shared<Object>(std::move(members))) {}
+    Value(Array elements)
+        : kind_(Kind::kArray),
+          array_(std::make_shared<Array>(std::move(elements))) {}
+
+    void dump(std::ostringstream& os) const {
+        switch (kind_) {
+            case Kind::kNull: os << "null"; break;
+            case Kind::kBool: os << (bool_ ? "true" : "false"); break;
+            case Kind::kNumber: {
+                // Round-trippable doubles; integral values print as
+                // integers so counters stay readable.
+                const auto as_int = static_cast<std::int64_t>(number_);
+                if (static_cast<double>(as_int) == number_) {
+                    os << as_int;
+                } else {
+                    char buffer[32];
+                    std::snprintf(buffer, sizeof buffer, "%.17g", number_);
+                    os << buffer;
+                }
+                break;
+            }
+            case Kind::kString: dump_string(os, string_); break;
+            case Kind::kObject: {
+                os << '{';
+                bool first = true;
+                for (const auto& [key, value] : *object_) {
+                    if (!first) os << ',';
+                    first = false;
+                    dump_string(os, key);
+                    os << ':';
+                    value.dump(os);
+                }
+                os << '}';
+                break;
+            }
+            case Kind::kArray: {
+                os << '[';
+                bool first = true;
+                for (const auto& value : *array_) {
+                    if (!first) os << ',';
+                    first = false;
+                    value.dump(os);
+                }
+                os << ']';
+                break;
+            }
+        }
+    }
+
+private:
+    enum class Kind : std::uint8_t {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kObject,
+        kArray,
+    };
+
+    static void dump_string(std::ostringstream& os, const std::string& s) {
+        os << '"';
+        for (const char c : s) {
+            switch (c) {
+                case '"': os << "\\\""; break;
+                case '\\': os << "\\\\"; break;
+                case '\n': os << "\\n"; break;
+                case '\t': os << "\\t"; break;
+                default:
+                    if (static_cast<unsigned char>(c) < 0x20) {
+                        char buffer[8];
+                        std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+                        os << buffer;
+                    } else {
+                        os << c;
+                    }
+            }
+        }
+        os << '"';
+    }
+
+    Kind kind_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::shared_ptr<Object> object_;
+    std::shared_ptr<Array> array_;
+};
+
+/// Serialise `root` to `BENCH_<name>.json` in the working directory
+/// (where CI collects artifacts).  Returns false on I/O failure — benches
+/// warn but do not fail the run over an unwritable artifact.
+inline bool write_artifact(const std::string& name, const Value& root) {
+    std::ostringstream os;
+    root.dump(os);
+    os << '\n';
+    const std::string path = "BENCH_" + name + ".json";
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        return false;
+    }
+    const std::string text = os.str();
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), file) == text.size();
+    std::fclose(file);
+    std::printf("wrote %s\n", path.c_str());
+    return ok;
+}
+
+}  // namespace teamplay::benchjson

@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/sharded_engine.hpp"
 #include "usecases/apps.hpp"
 
@@ -113,12 +114,26 @@ void print_table() {
     std::printf("=== E5: service trace, %zu Poisson arrivals "
                 "(uav/pill/rover round-robin) ===\n",
                 trace.requests.size());
+    benchjson::Array shard_rows;
     for (const std::size_t shards : {1UL, 2UL, 4UL}) {
         const auto stats = percentiles(replay(trace, shards, 4));
         std::printf("%zu shard(s): completion latency p50 %8.2f ms, "
                     "p95 %8.2f ms\n",
                     shards, stats.p50_ms, stats.p95_ms);
+        shard_rows.push_back(benchjson::Value(benchjson::Object{
+            {"shards", shards},
+            {"p50_ms", stats.p50_ms},
+            {"p95_ms", stats.p95_ms},
+        }));
     }
+    benchjson::write_artifact(
+        "service_trace",
+        benchjson::Value(benchjson::Object{
+            {"experiment", "service_trace"},
+            {"arrivals", trace.requests.size()},
+            {"workers_per_replay", 4},
+            {"shard_sweep", std::move(shard_rows)},
+        }));
 }
 
 void BM_ServiceTrace(benchmark::State& state) {

@@ -33,6 +33,8 @@
 
 #include "core/advisor.hpp"
 #include "core/sharded_engine.hpp"
+#include "sim/backend.hpp"
+#include "sim/trace.hpp"
 #include "usecases/apps.hpp"
 
 using namespace teamplay;
@@ -56,6 +58,9 @@ void usage() {
         "                      each result as it completes\n"
         "  --cache-budget <n>  evict evaluation-cache entries beyond n,\n"
         "                      per shard (default 0 = unbounded)\n"
+        "  --sim-backend <b>   simulator tier: interp (reference) or trace\n"
+        "                      (pre-decoded threaded dispatch; identical\n"
+        "                      results, default interp)\n"
         "  --quiet             only print the certificate verdict");
 }
 
@@ -70,6 +75,17 @@ void print_shard_breakdown(const core::ShardedScenarioEngine& engine) {
                     static_cast<unsigned long long>(stats.evictions),
                     stats.entries);
     }
+}
+
+void print_trace_cache(sim::SimBackend backend) {
+    if (backend != sim::SimBackend::kTrace) return;
+    const auto stats = sim::TraceCache::process_wide()->stats();
+    std::printf("trace cache: %llu hits / %llu misses, %llu evictions, "
+                "%zu entries (%.0f%% hit ratio)\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.evictions),
+                stats.entries, stats.hit_ratio() * 100.0);
 }
 
 /// Prints the report and returns whether its certificate is valid.
@@ -111,6 +127,7 @@ int main(int argc, char** argv) {
     std::size_t jobs = 0;
     std::size_t shards = 1;
     std::size_t cache_budget = 0;
+    sim::SimBackend backend = sim::SimBackend::kInterp;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--platform" && i + 1 < argc) {
@@ -131,6 +148,14 @@ int main(int argc, char** argv) {
             shards = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--cache-budget" && i + 1 < argc) {
             cache_budget = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--sim-backend" && i + 1 < argc) {
+            const auto parsed = sim::parse_backend(argv[++i]);
+            if (!parsed) {
+                std::fprintf(stderr, "unknown simulator backend: %s\n",
+                             argv[i]);
+                return 2;
+            }
+            backend = *parsed;
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             usage();
@@ -211,10 +236,14 @@ int main(int argc, char** argv) {
             requests.push_back(std::move(request));
         }
 
+        // Any machine constructed outside the engine (none today, but the
+        // flag should govern the whole process) picks the default up too.
+        sim::set_default_backend(backend);
         core::ShardedScenarioEngine engine(
             {.shards = shards,
              .worker_threads = jobs,
-             .cache_budget = {.max_entries = cache_budget}});
+             .cache_budget = {.max_entries = cache_budget},
+             .sim = {.backend = backend}});
 
         if (stream) {
             // Service-core view: consume results in completion order via
@@ -269,6 +298,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cache.evictions),
                 cache.entries);
             print_shard_breakdown(engine);
+            print_trace_cache(backend);
             if (!quiet)
                 std::printf("--- per-stage telemetry (all shards) ---\n%s",
                             engine.stage_telemetry().to_string().c_str());
@@ -286,6 +316,7 @@ int main(int argc, char** argv) {
         if (reports.size() > 1)
             std::printf("batch: %s\n", stats.to_string().c_str());
         print_shard_breakdown(engine);
+        print_trace_cache(backend);
         if (!quiet)
             std::printf("--- per-stage telemetry (all shards) ---\n%s",
                         stats.stage_telemetry.to_string().c_str());

@@ -8,6 +8,7 @@
 #include "security/taint.hpp"
 #include "security/transforms.hpp"
 #include "sim/machine.hpp"
+#include "sim/trace.hpp"
 #include "wcet/analyser.hpp"
 
 namespace teamplay::compiler {
@@ -32,8 +33,9 @@ std::string PassConfig::label() const {
 }
 
 MultiCriteriaCompiler::MultiCriteriaCompiler(const ir::Program& source,
-                                             const platform::Core& core)
-    : source_(&source), core_(&core) {}
+                                             const platform::Core& core,
+                                             sim::SimOptions sim)
+    : source_(&source), core_(&core), sim_(std::move(sim)) {}
 
 PassConfig MultiCriteriaCompiler::traditional_config() const {
     PassConfig config;
@@ -124,9 +126,17 @@ TaskVersion MultiCriteriaCompiler::compile(const std::string& function,
         const ir::Function* entry = transformed->find(function);
         const std::vector<ir::Word> args(
             static_cast<std::size_t>(entry->param_count), 0);
+        // Candidate programs are throwaway, so compile the trace directly
+        // (no shared-cache churn) and hand it to each per-run machine.
+        std::shared_ptr<const sim::CompiledTrace> trace;
+        if (sim_.backend == sim::SimBackend::kTrace)
+            trace = sim::TraceCompiler::compile(*transformed, function,
+                                                core_->model);
         for (int r = 0; r < kRuns; ++r) {
             sim::Machine machine(*transformed, *core_, config.opp_index,
-                                 /*seed=*/1000 + static_cast<unsigned>(r));
+                                 /*seed=*/1000 + static_cast<unsigned>(r),
+                                 sim::SimOptions{sim_.backend, nullptr});
+            machine.attach_trace(function, trace);
             const auto run = machine.run(function, args);
             time_acc += run.time_s;
             energy_acc += run.energy_j();

@@ -22,6 +22,7 @@
 #include "compiler/passes.hpp"
 #include "ir/program.hpp"
 #include "platform/platform.hpp"
+#include "sim/backend.hpp"
 
 namespace teamplay::compiler {
 
@@ -64,8 +65,12 @@ struct TaskVersion {
 /// The compiler front-end for one (program, core) pair.
 class MultiCriteriaCompiler {
 public:
+    /// `sim` selects the simulator tier used to evaluate candidates on
+    /// complex cores.  Candidate programs are throwaway, so their traces are
+    /// compiled directly and never admitted to a shared TraceCache.
     MultiCriteriaCompiler(const ir::Program& source,
-                          const platform::Core& core);
+                          const platform::Core& core,
+                          sim::SimOptions sim = {});
 
     /// Apply one configuration and analyse the result.
     [[nodiscard]] TaskVersion compile(const std::string& function,
@@ -105,6 +110,7 @@ private:
 
     const ir::Program* source_;
     const platform::Core* core_;
+    sim::SimOptions sim_;
 };
 
 /// Number of genome dimensions used by `decode`.

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/stages.hpp"
+#include "sim/trace.hpp"
 
 namespace teamplay::core {
 
@@ -103,10 +104,16 @@ std::string BatchStats::to_string() const {
 // -- ScenarioEngine -----------------------------------------------------------
 
 ScenarioEngine::ScenarioEngine(Options options)
-    : cache_(options.cache_budget),
+    : cache_(options.cache_budget), sim_(std::move(options.sim)),
       predictable_stages_(predictable_stage_configuration()),
       complex_stages_(complex_stage_configuration()),
-      pool_(options.worker_threads) {}
+      pool_(options.worker_threads) {
+    // Materialise the trace cache up front so every stage (and, through
+    // ShardedScenarioEngine, every shard) shares one instance and its stats
+    // are observable via trace_cache().
+    if (sim_.backend == sim::SimBackend::kTrace && sim_.trace_cache == nullptr)
+        sim_.trace_cache = sim::TraceCache::process_wide();
+}
 
 ScenarioEngine::~ScenarioEngine() {
     // Outstanding submissions run to completion before the members they
@@ -132,6 +139,7 @@ ToolchainReport ScenarioEngine::run_scenario(
     context.options = request.options;
     context.cache = &cache_;
     context.pool = &pool_;
+    context.sim = sim_;
     context.cancelled = cancelled;
     {
         const std::lock_guard<std::mutex> lock(validated_mutex_);

@@ -52,6 +52,7 @@
 #include "core/evaluation_cache.hpp"
 #include "core/stage_telemetry.hpp"
 #include "core/workflow.hpp"
+#include "sim/backend.hpp"
 #include "support/thread_pool.hpp"
 
 namespace teamplay::core {
@@ -156,6 +157,11 @@ public:
         /// Evaluation-cache retention budget; default unbounded (batch
         /// mode).  A long-lived service should set one.
         EvaluationCache::Budget cache_budget;
+        /// Simulator tier for every machine this engine constructs
+        /// (profiling campaigns, complex-core evaluation).  Defaults to the
+        /// process-wide backend; results are backend-invariant, so this is
+        /// never part of an EvaluationKey.
+        sim::SimOptions sim;
     };
 
     /// Invoked on the executing thread right after a scenario finishes,
@@ -195,6 +201,10 @@ public:
     }
     void clear_cache() { cache_.clear(); }
 
+    /// Simulator configuration in force (with the trace cache materialised
+    /// when the trace backend is active); null cache under kInterp.
+    [[nodiscard]] const sim::SimOptions& sim_options() const { return sim_; }
+
     /// Cumulative per-stage telemetry across every scenario this engine
     /// completed (streamed and batched).
     [[nodiscard]] StageTelemetry stage_telemetry() const;
@@ -210,6 +220,7 @@ private:
     void execute(detail::TicketState& state);
 
     EvaluationCache cache_;
+    sim::SimOptions sim_;
     /// Content fingerprints of programs already validated by this engine
     /// (validation is idempotent per program content; skip repeats).
     std::mutex validated_mutex_;

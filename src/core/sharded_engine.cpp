@@ -5,6 +5,7 @@
 
 #include "csl/csl.hpp"
 #include "ir/fingerprint.hpp"
+#include "sim/trace.hpp"
 
 namespace teamplay::core {
 
@@ -40,6 +41,11 @@ std::uint64_t routing_fingerprint(const ir::Program* program,
 
 ShardedScenarioEngine::ShardedScenarioEngine(Options options) {
     const std::size_t shard_count = options.shards == 0 ? 1 : options.shards;
+    // One trace cache for the whole service: materialise it before the
+    // shards so every shard's engine receives the same instance.
+    if (options.sim.backend == sim::SimBackend::kTrace &&
+        options.sim.trace_cache == nullptr)
+        options.sim.trace_cache = sim::TraceCache::process_wide();
     shards_.reserve(shard_count);
     for (std::size_t i = 0; i < shard_count; ++i) {
         ScenarioEngine::Options shard_options;
@@ -47,6 +53,7 @@ ShardedScenarioEngine::ShardedScenarioEngine(Options options) {
             options.worker_threads / shard_count +
             (i < options.worker_threads % shard_count ? 1 : 0);
         shard_options.cache_budget = options.cache_budget;
+        shard_options.sim = options.sim;
         shards_.push_back(std::make_unique<ScenarioEngine>(shard_options));
     }
 }

@@ -53,6 +53,12 @@ public:
         std::size_t worker_threads = 0;
         /// Evaluation-cache retention budget *per shard*.
         EvaluationCache::Budget cache_budget;
+        /// Simulator tier shared by every shard.  With the trace backend
+        /// and no explicit cache, one TraceCache is materialised here and
+        /// shared across shards: unlike the evaluation caches (isolated per
+        /// shard on purpose), compiled traces are immutable and
+        /// model-keyed, so sharing them is pure win.
+        sim::SimOptions sim;
     };
 
     using Completion = ScenarioEngine::Completion;

@@ -123,8 +123,9 @@ std::uint64_t profile_params(int profile_runs, const platform::Core& core) {
 std::vector<compiler::TaskVersion> compile_front(
     const ir::Program& program, const platform::Core& core,
     const csl::TaskSpec& task_spec,
-    compiler::MultiCriteriaCompiler::Options compiler_options) {
-    compiler::MultiCriteriaCompiler mcc(program, core);
+    compiler::MultiCriteriaCompiler::Options compiler_options,
+    const sim::SimOptions& sim) {
+    compiler::MultiCriteriaCompiler mcc(program, core, sim);
     compiler_options.explore_security = task_spec.security_hint == "auto";
     auto front = mcc.optimise(task_spec.entry, compiler_options);
 
@@ -209,7 +210,7 @@ void AnalyseStage::run_static(ScenarioContext& context) const {
             result.front =
                 std::make_shared<const std::vector<compiler::TaskVersion>>(
                     compile_front(*context.program, *tuple.core, *tuple.task,
-                                  context.options.compiler));
+                                  context.options.compiler, context.sim));
             return result;
         });
     });
@@ -299,7 +300,8 @@ void AnalyseStage::run_profiled(ScenarioContext& context) const {
             // convention), keeping results thread-count-invariant.
             profiler::PowProfiler prof(*context.program, *tuple.core,
                                        tuple.opp,
-                                       /*seed=*/tuple.opp * 131 + 7);
+                                       /*seed=*/tuple.opp * 131 + 7,
+                                       context.sim);
             result.profile = prof.profile(
                 tuple.task->entry,
                 profiler::zero_inputs(tuple.entry->param_count),

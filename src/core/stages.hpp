@@ -48,6 +48,9 @@ struct ScenarioContext {
     std::map<std::string, std::uint64_t> entry_fps;
     EvaluationCache* cache = nullptr;
     support::ThreadPool* pool = nullptr;
+    /// Simulator tier (and shared trace cache) for machines built by the
+    /// analyse stages; copied from the engine's Options.
+    sim::SimOptions sim;
     /// Cooperative cancellation token of the owning ticket (may be null).
     /// The engine checks it at every stage boundary; a long-running stage
     /// may additionally poll it at its own safe points.

@@ -1,5 +1,6 @@
 #include "profiler/pow_profiler.hpp"
 
+#include "sim/trace.hpp"
 #include "support/stats.hpp"
 
 namespace teamplay::profiler {
@@ -27,9 +28,9 @@ InputStager zero_inputs(int param_count) {
 
 PowProfiler::PowProfiler(const ir::Program& program,
                          const platform::Core& core, std::size_t opp_index,
-                         std::uint64_t seed)
+                         std::uint64_t seed, sim::SimOptions sim)
     : program_(&program), core_(&core), opp_index_(opp_index), rng_(seed),
-      next_machine_seed_(seed * 7919 + 17) {}
+      next_machine_seed_(seed * 7919 + 17), sim_(std::move(sim)) {}
 
 TaskProfile PowProfiler::profile(const std::string& function,
                                  const InputStager& stager, int runs) {
@@ -41,11 +42,24 @@ TaskProfile PowProfiler::profile(const std::string& function,
     std::vector<double> energies;
     std::vector<double> cycle_samples;
     times.reserve(static_cast<std::size_t>(runs));
+    // Resolve the compiled trace once per campaign: fresh machines below
+    // attach the shared result instead of fingerprinting the program on
+    // every run.
+    bool trace_resolved = false;
+    std::shared_ptr<const sim::CompiledTrace> trace;
     for (int r = 0; r < runs; ++r) {
         // A fresh machine per run models the board settling between
         // measurements; the seed advances so complex-core noise varies.
         sim::Machine machine(*program_, *core_, opp_index_,
-                             next_machine_seed_++);
+                             next_machine_seed_++, sim_);
+        if (machine.backend() == sim::SimBackend::kTrace) {
+            if (!trace_resolved) {
+                trace = machine.resolve_trace(function);
+                trace_resolved = true;
+            } else {
+                machine.attach_trace(function, trace);
+            }
+        }
         const auto args = stager(rng_, machine);
         const auto run = machine.run(function, args);
         times.push_back(run.time_s);

@@ -55,8 +55,12 @@ using InputStager =
 
 class PowProfiler {
 public:
+    /// `sim` selects the simulator tier of every machine the campaign
+    /// builds; the trace is resolved once per profiled function and shared
+    /// across the per-run machines.
     PowProfiler(const ir::Program& program, const platform::Core& core,
-                std::size_t opp_index, std::uint64_t seed = 1);
+                std::size_t opp_index, std::uint64_t seed = 1,
+                sim::SimOptions sim = {});
 
     /// Measure `function` over `runs` executions with staged inputs.
     [[nodiscard]] TaskProfile profile(const std::string& function,
@@ -74,6 +78,7 @@ private:
     std::size_t opp_index_;
     support::Rng rng_;
     std::uint64_t next_machine_seed_;
+    sim::SimOptions sim_;
 };
 
 }  // namespace teamplay::profiler

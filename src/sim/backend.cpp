@@ -1,0 +1,33 @@
+#include "sim/backend.hpp"
+
+#include <atomic>
+
+namespace teamplay::sim {
+
+namespace {
+std::atomic<SimBackend> g_default_backend{SimBackend::kInterp};
+}  // namespace
+
+SimBackend default_backend() {
+    return g_default_backend.load(std::memory_order_relaxed);
+}
+
+void set_default_backend(SimBackend backend) {
+    g_default_backend.store(backend, std::memory_order_relaxed);
+}
+
+std::string_view backend_name(SimBackend backend) {
+    switch (backend) {
+        case SimBackend::kInterp: return "interp";
+        case SimBackend::kTrace: return "trace";
+    }
+    return "?";
+}
+
+std::optional<SimBackend> parse_backend(std::string_view name) {
+    if (name == "interp") return SimBackend::kInterp;
+    if (name == "trace") return SimBackend::kTrace;
+    return std::nullopt;
+}
+
+}  // namespace teamplay::sim

@@ -11,19 +11,31 @@
 // The machine also produces a per-instruction power trace with a
 // Hamming-weight data-dependent component, which is what the side-channel
 // leakage metrics of the SecurityAnalyser consume.
+//
+// Execution tiers (DESIGN.md §9): the recursive tree-walking interpreter is
+// the reference semantics; with SimBackend::kTrace, `run` executes a
+// pre-decoded flat trace (sim/trace.hpp) through a threaded-dispatch loop
+// instead, falling back to the interpreter when lowering is impossible.
+// Both tiers produce bit-identical RunResults — the differential oracle in
+// tests/test_sim_trace.cpp pins this.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "ir/program.hpp"
 #include "platform/platform.hpp"
+#include "sim/backend.hpp"
 #include "support/rng.hpp"
 
 namespace teamplay::sim {
+
+struct CompiledTrace;
 
 /// Outcome of one task execution.
 struct RunResult {
@@ -49,13 +61,18 @@ struct RunResult {
     }
 };
 
-/// Interpreter for one program on one core at one DVFS operating point.
+/// Interpreter + trace executor for one program on one core at one DVFS
+/// operating point.
 class Machine {
 public:
     /// The program must outlive the machine.  `seed` drives the stochastic
-    /// timing of complex cores; predictable cores never consult it.
+    /// timing of complex cores; predictable cores never consult it.  `sim`
+    /// selects the execution tier; its default snapshots the process-wide
+    /// backend (sim/backend.hpp).  With the trace backend and no explicit
+    /// cache, compiled traces go through TraceCache::process_wide().
     Machine(const ir::Program& program, const platform::Core& core,
-            std::size_t opp_index, std::uint64_t seed = 1);
+            std::size_t opp_index, std::uint64_t seed = 1,
+            SimOptions sim = {});
 
     /// Write a word into shared memory (input staging).
     void poke(std::size_t address, ir::Word value);
@@ -69,8 +86,10 @@ public:
     void clear_memory();
 
     /// Execute `function` with the given arguments.  Throws on undefined
-    /// functions, out-of-range memory access, dynamic loop trips above the
-    /// static bound, or exceeding the instruction budget.
+    /// functions, argument-count mismatches (invalid_argument, validated
+    /// against the entry signature before any state changes), out-of-range
+    /// memory access, dynamic loop trips above the static bound, or
+    /// exceeding the instruction budget.
     RunResult run(const std::string& function,
                   std::span<const ir::Word> args, bool record_trace = false);
 
@@ -81,21 +100,46 @@ public:
     [[nodiscard]] const platform::OperatingPoint& opp() const {
         return core_->opp(opp_index_);
     }
+    [[nodiscard]] SimBackend backend() const { return backend_; }
+
+    /// Resolve the compiled trace for `function` (memo -> shared cache ->
+    /// compile) and remember the outcome.  Returns null when the function
+    /// cannot be lowered (interpreter fallback) or the backend is kInterp.
+    /// Owners that build many machines over the same program (PowProfiler,
+    /// the multi-criteria compiler) resolve once and `attach_trace` the
+    /// result to later machines, skipping per-machine fingerprinting.
+    [[nodiscard]] std::shared_ptr<const CompiledTrace> resolve_trace(
+        const std::string& function);
+
+    /// Pre-seed the trace memo for `function`.  The trace must come from a
+    /// structurally-fingerprint-equal (program, entry) pair on a core with
+    /// an equal model fingerprint; null marks "known interpreter fallback".
+    void attach_trace(const std::string& function,
+                      std::shared_ptr<const CompiledTrace> trace);
 
 private:
     struct Frame {
         std::vector<ir::Word> regs;
     };
 
+    template <bool RecordTrace>
     void exec_node(const ir::Node& node, Frame& frame, RunResult& result,
-                   bool record_trace, int call_depth);
-    void exec_block(const ir::Node& node, Frame& frame, RunResult& result,
-                    bool record_trace);
-    void charge(isa::InstrClass cls, ir::Word data_value, RunResult& result,
-                bool record_trace);
-    void charge_overhead(double cycles, double energy_pj, RunResult& result,
-                         bool record_trace);
+                   int call_depth);
+    template <bool RecordTrace>
+    void exec_block(const ir::Node& node, Frame& frame, RunResult& result);
+    template <bool RecordTrace>
+    void charge(isa::InstrClass cls, ir::Word data_value, RunResult& result);
+    template <bool RecordTrace>
+    void charge_overhead(double cycles, double energy_pj, RunResult& result);
+    /// Threaded-dispatch executor over a pre-decoded trace; sets
+    /// `result.ret_value` from the trace's entry return register.
+    /// `Predictable` specialises out the stochastic-timing path entirely
+    /// (the per-instruction RNG draws exist only on complex cores).
+    template <bool RecordTrace, bool Predictable>
+    void exec_trace(const CompiledTrace& trace, std::span<const ir::Word> args,
+                    RunResult& result);
     [[nodiscard]] double stochastic_cycles(double base, bool memory_access);
+    [[nodiscard]] std::int64_t charge_estimate(const std::string& function);
 
     const ir::Program* program_;
     const platform::Core* core_;
@@ -104,6 +148,32 @@ private:
     std::vector<ir::Word> memory_;
     support::Rng rng_;
     std::int64_t budget_ = 500'000'000;
+    SimBackend backend_;
+    std::shared_ptr<TraceCache> trace_cache_;
+    /// Per-entry resolution memo; a present-but-null value means "lowering
+    /// failed, use the interpreter" so failures resolve only once.
+    std::map<std::string, std::shared_ptr<const CompiledTrace>> traces_;
+    /// Memoised ir::estimate_charges per entry (power-trace reservation).
+    std::map<std::string, std::int64_t> charge_estimates_;
+
+    /// One call-frame record of the trace executor's call stack.
+    struct TraceCall {
+        std::uint32_t ret_pc;
+        std::uint32_t caller_base;
+        std::int32_t ret_dst;  ///< caller register receiving the result
+        std::int32_t ret_src;  ///< callee return register
+    };
+    /// Scratch buffers reused across runs so the trace tier performs no
+    /// per-run allocations once warm.
+    std::vector<ir::Word> trace_arena_;
+    std::vector<TraceCall> trace_calls_;
+
+    /// Last-entry fast path for `run`: repeated executions of the same
+    /// function (profiling campaigns) skip the per-run map lookups.
+    /// Invalidated by attach_trace.
+    std::string last_entry_;
+    const ir::Function* last_fn_ = nullptr;
+    std::shared_ptr<const CompiledTrace> last_trace_;
 };
 
 }  // namespace teamplay::sim

@@ -1,0 +1,401 @@
+// Differential oracle for the trace execution tier (DESIGN.md §9).
+//
+// The pre-decoded threaded-dispatch backend must be *bit-identical* to the
+// tree-walking interpreter: same cycles, energies, instruction/class
+// counts, return values, power-trace samples and error surface, on every
+// app, core and operating point.  These tests sweep all five use-case
+// programs across their platforms' cores and OPPs and compare every
+// RunResult field with exact equality — any divergence in lowering,
+// charge ordering or RNG consumption shows up as a failure here, not as a
+// subtly wrong certificate downstream.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/scenario_engine.hpp"
+#include "csl/csl.hpp"
+#include "ir/builder.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
+#include "support/rng.hpp"
+#include "usecases/apps.hpp"
+
+namespace {
+
+using namespace teamplay;
+
+// -- differential sweep -------------------------------------------------------
+
+/// Either a completed run or the error it threw — errors are part of the
+/// contract the trace tier must reproduce, message bytes included.
+struct Outcome {
+    std::optional<sim::RunResult> result;
+    std::string error;
+};
+
+Outcome run_once(const ir::Program& program, const platform::Core& core,
+                 std::size_t opp, std::uint64_t seed, sim::SimBackend backend,
+                 const std::shared_ptr<sim::TraceCache>& cache,
+                 const std::string& entry,
+                 const std::vector<ir::Word>& memory_image,
+                 const std::vector<ir::Word>& args) {
+    sim::Machine machine(program, core, opp, seed,
+                         sim::SimOptions{backend, cache});
+    if (!memory_image.empty()) machine.poke_span(0, memory_image);
+    Outcome outcome;
+    try {
+        outcome.result = machine.run(entry, args, /*record_trace=*/true);
+    } catch (const std::exception& error) {
+        outcome.error = error.what();
+        if (outcome.error.empty()) outcome.error = "(empty message)";
+    }
+    return outcome;
+}
+
+/// Exact-equality comparison of two outcomes; `context` names the sweep
+/// point so a failure is attributable.
+void expect_identical(const Outcome& interp, const Outcome& trace,
+                      const std::string& context) {
+    ASSERT_EQ(interp.error, trace.error) << context;
+    ASSERT_EQ(interp.result.has_value(), trace.result.has_value()) << context;
+    if (!interp.result.has_value()) return;
+    const auto& a = *interp.result;
+    const auto& b = *trace.result;
+    EXPECT_EQ(a.cycles, b.cycles) << context;
+    EXPECT_EQ(a.time_s, b.time_s) << context;
+    EXPECT_EQ(a.dynamic_energy_j, b.dynamic_energy_j) << context;
+    EXPECT_EQ(a.static_energy_j, b.static_energy_j) << context;
+    EXPECT_EQ(a.ret_value, b.ret_value) << context;
+    EXPECT_EQ(a.instrs_executed, b.instrs_executed) << context;
+    EXPECT_EQ(a.class_counts, b.class_counts) << context;
+    ASSERT_EQ(a.power_trace.size(), b.power_trace.size()) << context;
+    for (std::size_t i = 0; i < a.power_trace.size(); ++i) {
+        ASSERT_EQ(a.power_trace[i], b.power_trace[i])
+            << context << " power-trace sample " << i;
+    }
+}
+
+/// Sweep one app: every task entry on every core at every OPP, once with
+/// zeroed memory and once with a seeded random image, interpreter versus
+/// trace tier with equal machine seeds.
+void sweep_app(const usecases::UseCaseApp& app) {
+    const auto spec = csl::parse(app.csl_source);
+    const auto cache = std::make_shared<sim::TraceCache>();
+    support::Rng stager(0xD1FFEu);
+
+    std::vector<ir::Word> random_image(
+        std::min<std::size_t>(app.program.memory_words, 512));
+    for (auto& word : random_image)
+        word = static_cast<ir::Word>(stager.next() % 97) - 13;
+
+    for (const auto& task : spec.tasks) {
+        const ir::Function* fn = app.program.find(task.entry);
+        ASSERT_NE(fn, nullptr) << app.name << "/" << task.entry;
+        const std::vector<ir::Word> args(
+            static_cast<std::size_t>(fn->param_count), 0);
+        for (std::size_t c = 0; c < app.platform.cores.size(); ++c) {
+            const auto& core = app.platform.cores[c];
+            for (std::size_t opp = 0; opp < core.opps.size(); ++opp) {
+                const std::vector<ir::Word>* const images[2] = {
+                    nullptr, &random_image};
+                for (const auto* image : images) {
+                    const std::vector<ir::Word> empty;
+                    const auto& memory = image ? *image : empty;
+                    const std::uint64_t seed = 11 * (c + 1) + opp;
+                    const std::string context =
+                        app.name + "/" + task.entry + " core=" + core.name +
+                        " opp=" + std::to_string(opp) +
+                        (image ? " random-image" : " zero-image");
+                    expect_identical(
+                        run_once(app.program, core, opp, seed,
+                                 sim::SimBackend::kInterp, nullptr,
+                                 task.entry, memory, args),
+                        run_once(app.program, core, opp, seed,
+                                 sim::SimBackend::kTrace, cache, task.entry,
+                                 memory, args),
+                        context);
+                }
+            }
+        }
+    }
+    // Traces are OPP-invariant and model-keyed: the sweep above must have
+    // compiled at most one trace per (entry, distinct core model).
+    const auto stats = cache->stats();
+    EXPECT_GT(stats.hits, 0u) << app.name;
+    EXPECT_LE(stats.misses,
+              spec.tasks.size() * app.platform.cores.size())
+        << app.name;
+}
+
+TEST(SimTraceDifferential, CameraPill) {
+    sweep_app(usecases::make_camera_pill_app());
+}
+
+TEST(SimTraceDifferential, Space) { sweep_app(usecases::make_space_app()); }
+
+TEST(SimTraceDifferential, Uav) {
+    sweep_app(usecases::make_uav_app("apalis-tk1"));
+}
+
+TEST(SimTraceDifferential, Rover) {
+    sweep_app(usecases::make_rover_app("apalis-tk1"));
+}
+
+TEST(SimTraceDifferential, Parking) {
+    sweep_app(usecases::make_parking_app(true));
+}
+
+// -- synthetic semantics edges ------------------------------------------------
+
+ir::Program make_single(ir::Function fn) {
+    ir::Program program;
+    program.add(std::move(fn));
+    return program;
+}
+
+const platform::Platform& nucleo() {
+    static const platform::Platform p = platform::nucleo_f091();
+    return p;
+}
+
+TEST(SimTrace, DynamicLoopAboveBoundThrowsIdentically) {
+    ir::FunctionBuilder b("f", 1);
+    (void)b.dynamic_loop_begin(b.param(0), 8);
+    b.loop_end();
+    const auto program = make_single(b.build());
+    const std::vector<ir::Word> args{9};
+    const auto interp =
+        run_once(program, nucleo().cores[0], 0, 1, sim::SimBackend::kInterp,
+                 nullptr, "f", {}, args);
+    const auto trace =
+        run_once(program, nucleo().cores[0], 0, 1, sim::SimBackend::kTrace,
+                 nullptr, "f", {}, args);
+    EXPECT_FALSE(interp.error.empty());
+    expect_identical(interp, trace, "dynamic-loop-bound");
+}
+
+TEST(SimTrace, OutOfBoundsLoadThrowsIdentically) {
+    ir::FunctionBuilder b("f", 0);
+    (void)b.load(b.imm(static_cast<ir::Word>(1) << 40));
+    const auto program = make_single(b.build());
+    const auto interp = run_once(program, nucleo().cores[0], 0, 1,
+                                 sim::SimBackend::kInterp, nullptr, "f", {},
+                                 {});
+    const auto trace = run_once(program, nucleo().cores[0], 0, 1,
+                                sim::SimBackend::kTrace, nullptr, "f", {},
+                                {});
+    EXPECT_FALSE(interp.error.empty());
+    expect_identical(interp, trace, "oob-load");
+}
+
+TEST(SimTrace, InstructionBudgetAbortsIdentically) {
+    ir::FunctionBuilder b("f", 0);
+    const auto i = b.loop_begin(1000000);
+    (void)b.add(i, i);
+    b.loop_end();
+    const auto program = make_single(b.build());
+    Outcome outcomes[2];
+    const sim::SimBackend backends[2] = {sim::SimBackend::kInterp,
+                                         sim::SimBackend::kTrace};
+    for (int k = 0; k < 2; ++k) {
+        sim::Machine machine(program, nucleo().cores[0], 0, 1,
+                             sim::SimOptions{backends[k], nullptr});
+        machine.set_instruction_budget(1000);
+        try {
+            outcomes[k].result = machine.run("f", {}, true);
+        } catch (const std::exception& error) {
+            outcomes[k].error = error.what();
+        }
+    }
+    EXPECT_FALSE(outcomes[0].error.empty());
+    expect_identical(outcomes[0], outcomes[1], "budget");
+}
+
+TEST(SimTrace, ArgumentCountMismatchNamesExpectedAndGot) {
+    ir::FunctionBuilder b("f", 2);
+    const auto program = make_single(b.build());
+    for (const auto backend :
+         {sim::SimBackend::kInterp, sim::SimBackend::kTrace}) {
+        sim::Machine machine(program, nucleo().cores[0], 0, 1,
+                             sim::SimOptions{backend, nullptr});
+        try {
+            (void)machine.run("f", std::vector<ir::Word>{1});
+            FAIL() << "expected invalid_argument";
+        } catch (const std::invalid_argument& error) {
+            const std::string what = error.what();
+            EXPECT_NE(what.find("expected 2"), std::string::npos) << what;
+            EXPECT_NE(what.find("got 1"), std::string::npos) << what;
+        }
+    }
+}
+
+TEST(SimTrace, UndefinedCalleeFallsBackToInterpreterErrorSurface) {
+    ir::FunctionBuilder b("f", 0);
+    (void)b.call("missing", {});
+    const auto program = make_single(b.build());
+    // Unlowerable: compile reports null, the machine falls back to the
+    // interpreter, and the runtime error matches the reference tier.
+    EXPECT_EQ(sim::TraceCompiler::compile(program, "f",
+                                          nucleo().cores[0].model),
+              nullptr);
+    const auto interp = run_once(program, nucleo().cores[0], 0, 1,
+                                 sim::SimBackend::kInterp, nullptr, "f", {},
+                                 {});
+    const auto trace = run_once(program, nucleo().cores[0], 0, 1,
+                                sim::SimBackend::kTrace, nullptr, "f", {},
+                                {});
+    EXPECT_NE(interp.error.find("missing"), std::string::npos);
+    expect_identical(interp, trace, "undefined-callee");
+}
+
+// -- cache accounting ---------------------------------------------------------
+
+TEST(SimTraceCache, HitMissAndOppInvariance) {
+    const auto app = usecases::make_uav_app("apalis-tk1");
+    const auto spec = csl::parse(app.csl_source);
+    const auto& entry = spec.tasks.front().entry;
+    const auto cache = std::make_shared<sim::TraceCache>();
+    const auto& core = app.platform.cores.front();
+
+    // One compile serves every OPP: the key is (structure, model), never
+    // the operating point.
+    for (std::size_t opp = 0; opp < core.opps.size(); ++opp) {
+        sim::Machine machine(app.program, core, opp, 1,
+                             sim::SimOptions{sim::SimBackend::kTrace, cache});
+        EXPECT_NE(machine.resolve_trace(entry), nullptr);
+    }
+    auto stats = cache->stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, core.opps.size() - 1);
+    EXPECT_EQ(stats.entries, 1u);
+
+    // Per-machine memoisation: a second resolve on the same machine never
+    // consults the cache again.
+    sim::Machine machine(app.program, core, 0, 1,
+                         sim::SimOptions{sim::SimBackend::kTrace, cache});
+    (void)machine.resolve_trace(entry);
+    (void)machine.resolve_trace(entry);
+    EXPECT_EQ(cache->stats().hits, stats.hits + 1);
+}
+
+TEST(SimTraceCache, SharesTracesAcrossIsomorphicPrograms) {
+    // The same kernel body under two different entry names in two different
+    // programs: the canonical structural fingerprint erases naming, so the
+    // second program reuses the first one's trace.
+    const auto build = [](const std::string& name) {
+        ir::FunctionBuilder b(name, 1);
+        const auto i = b.loop_begin(10);
+        (void)b.mul(i, b.param(0));
+        b.loop_end();
+        b.ret(b.param(0));
+        return make_single(b.build());
+    };
+    const auto first = build("alpha");
+    const auto second = build("beta");
+    const auto cache = std::make_shared<sim::TraceCache>();
+    const auto& core = nucleo().cores[0];
+
+    sim::Machine m1(first, core, 0, 1,
+                    sim::SimOptions{sim::SimBackend::kTrace, cache});
+    sim::Machine m2(second, core, 0, 1,
+                    sim::SimOptions{sim::SimBackend::kTrace, cache});
+    EXPECT_NE(m1.resolve_trace("alpha"), nullptr);
+    EXPECT_NE(m2.resolve_trace("beta"), nullptr);
+    const auto stats = cache->stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+
+    // The shared trace still produces the right answers for both programs.
+    EXPECT_EQ(m1.run("alpha", std::vector<ir::Word>{7}).ret_value, 7);
+    EXPECT_EQ(m2.run("beta", std::vector<ir::Word>{9}).ret_value, 9);
+}
+
+TEST(SimTraceCache, EvictsColdTracesBeyondBudget) {
+    const auto cache =
+        std::make_shared<sim::TraceCache>(sim::TraceCache::Budget{1});
+    const auto& core = nucleo().cores[0];
+    const auto make_distinct = [](int loops) {
+        ir::FunctionBuilder b("f", 0);
+        const auto i = b.loop_begin(loops);
+        (void)b.add(i, i);
+        b.loop_end();
+        ir::Program program;
+        program.add(b.build());
+        return program;
+    };
+    const auto p1 = make_distinct(3);
+    const auto p2 = make_distinct(5);
+    EXPECT_NE(cache->get_or_compile(p1, "f", core.model), nullptr);
+    EXPECT_NE(cache->get_or_compile(p2, "f", core.model), nullptr);
+    auto stats = cache->stats();
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+    // p1 was evicted: resolving it again is a fresh miss.
+    EXPECT_NE(cache->get_or_compile(p1, "f", core.model), nullptr);
+    EXPECT_EQ(cache->stats().misses, 3u);
+}
+
+TEST(SimTraceCache, StatsMergeAndSince) {
+    sim::TraceCache::Stats a;
+    a.hits = 3;
+    a.misses = 2;
+    a.evictions = 1;
+    a.entries = 4;
+    sim::TraceCache::Stats b;
+    b.hits = 1;
+    b.misses = 1;
+    b.entries = 2;
+    auto merged = a;
+    merged.merge(b);
+    EXPECT_EQ(merged.hits, 4u);
+    EXPECT_EQ(merged.misses, 3u);
+    EXPECT_EQ(merged.entries, 6u);
+    const auto delta = a.since(b);
+    EXPECT_EQ(delta.hits, 2u);
+    EXPECT_EQ(delta.misses, 1u);
+    EXPECT_EQ(delta.entries, 4u);  // point-in-time, not a delta
+    EXPECT_DOUBLE_EQ(a.hit_ratio(), 0.6);
+}
+
+// -- engine-level identity ----------------------------------------------------
+
+/// Whole-toolchain oracle: the same scenario through a multi-threaded
+/// engine on each backend must produce byte-identical certificates (this is
+/// also the ThreadSanitizer workout for the shared TraceCache).
+TEST(SimTraceEngine, CertificatesByteIdenticalAcrossBackends) {
+    const auto pill = usecases::make_camera_pill_app();
+    const auto uav = usecases::make_uav_app("apalis-tk1");
+
+    const auto run_with =
+        [&](sim::SimBackend backend) -> std::vector<std::string> {
+        core::ScenarioEngine::Options options;
+        options.worker_threads = 4;
+        options.sim =
+            sim::SimOptions{backend, std::make_shared<sim::TraceCache>()};
+        core::ScenarioEngine engine(options);
+        std::vector<core::ScenarioRequest> requests;
+        for (const auto* app : {&pill, &uav}) {
+            core::ScenarioRequest request;
+            request.program = &app->program;
+            request.platform = &app->platform;
+            request.csl_source = app->csl_source;
+            request.label = app->name;
+            requests.push_back(std::move(request));
+        }
+        std::vector<std::string> certs;
+        for (auto& report : engine.run_all(requests))
+            certs.push_back(report.certificate.to_text());
+        return certs;
+    };
+
+    const auto interp = run_with(sim::SimBackend::kInterp);
+    const auto trace = run_with(sim::SimBackend::kTrace);
+    ASSERT_EQ(interp.size(), trace.size());
+    for (std::size_t i = 0; i < interp.size(); ++i)
+        EXPECT_EQ(interp[i], trace[i]) << "scenario " << i;
+}
+
+}  // namespace
