@@ -130,24 +130,39 @@ private:
 };
 
 /// Serialise `root` to `BENCH_<name>.json` in the working directory
-/// (where CI collects artifacts).  Returns false on I/O failure — benches
-/// warn but do not fail the run over an unwritable artifact.
+/// (where CI collects artifacts).  The text is staged in a sibling
+/// `.tmp` file and renamed into place, so a collector (or a crashed
+/// bench) never observes a half-written artifact — the final path either
+/// holds the previous complete run or the new one.  Returns false on I/O
+/// failure — benches warn but do not fail the run over an unwritable
+/// artifact.
 inline bool write_artifact(const std::string& name, const Value& root) {
     std::ostringstream os;
     root.dump(os);
     os << '\n';
     const std::string path = "BENCH_" + name + ".json";
-    std::FILE* file = std::fopen(path.c_str(), "w");
+    const std::string staged = path + ".tmp";
+    std::FILE* file = std::fopen(staged.c_str(), "w");
     if (file == nullptr) {
-        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        std::fprintf(stderr, "warning: cannot write %s\n", staged.c_str());
         return false;
     }
     const std::string text = os.str();
-    const bool ok =
-        std::fwrite(text.data(), 1, text.size(), file) == text.size();
+    bool ok = std::fwrite(text.data(), 1, text.size(), file) == text.size();
+    ok = std::fflush(file) == 0 && ok;
     std::fclose(file);
+    if (!ok) {
+        std::fprintf(stderr, "warning: short write to %s\n", staged.c_str());
+        std::remove(staged.c_str());
+        return false;
+    }
+    if (std::rename(staged.c_str(), path.c_str()) != 0) {
+        std::fprintf(stderr, "warning: cannot publish %s\n", path.c_str());
+        std::remove(staged.c_str());
+        return false;
+    }
     std::printf("wrote %s\n", path.c_str());
-    return ok;
+    return true;
 }
 
 }  // namespace teamplay::benchjson

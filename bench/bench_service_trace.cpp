@@ -9,17 +9,29 @@
 // shares its perception kernels with the UAV, so the trace also exercises
 // cross-program memoisation under service load: the router sends both apps'
 // scenarios to the shard that already holds the shared entries.
+//
+// A second experiment replays the same trace twice against one persistent
+// result store directory — a cold service filling the store, then a
+// restarted service (fresh ResultStore instance, so the segment scan and
+// mmap path run) warm-starting from it.  The warm phase must serve
+// byte-identical certificates, recompute nothing that was stored (zero
+// store misses), and show a lower completion p50; any violation fails the
+// process, which is how the CI bench-smoke step gates the store.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <mutex>
 #include <random>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_json.hpp"
+#include "core/result_store.hpp"
 #include "core/sharded_engine.hpp"
 #include "usecases/apps.hpp"
 
@@ -78,14 +90,24 @@ Percentiles percentiles(std::vector<double> latencies_s) {
     return {at(0.50), at(0.95)};
 }
 
-/// Replay the trace against a fresh sharded engine; returns per-scenario
-/// completion latencies (arrival -> completion callback).
-std::vector<double> replay(const Trace& trace, std::size_t shards,
-                           std::size_t workers) {
-    core::ShardedScenarioEngine engine(
-        {.shards = shards, .worker_threads = workers});
+struct ReplayResult {
+    std::vector<double> latencies_s;        ///< arrival -> completion
+    std::vector<std::string> certificates;  ///< canonical text, trace order
+    core::EvaluationCache::Stats cache;     ///< fold after the final flush
+};
+
+/// Replay the trace against a fresh sharded engine (optionally store-backed)
+/// and flush the store before sampling cache statistics, so `cache.spills`
+/// covers the whole replay.
+ReplayResult replay(const Trace& trace, std::size_t shards,
+                    std::size_t workers,
+                    std::shared_ptr<core::ResultStore> store = nullptr) {
+    core::ShardedScenarioEngine engine({.shards = shards,
+                                        .worker_threads = workers,
+                                        .result_store = std::move(store)});
     std::mutex mutex;
-    std::vector<double> latencies_s(trace.requests.size(), 0.0);
+    ReplayResult result;
+    result.latencies_s.assign(trace.requests.size(), 0.0);
 
     std::vector<core::ScenarioTicket> tickets;
     tickets.reserve(trace.requests.size());
@@ -95,28 +117,103 @@ std::vector<double> replay(const Trace& trace, std::size_t shards,
         const auto arrival = std::chrono::steady_clock::now();
         tickets.push_back(engine.submit(
             trace.requests[i],
-            [&latencies_s, &mutex, i,
-             arrival](const core::ScenarioOutcome&) {
+            [&result, &mutex, i, arrival](const core::ScenarioOutcome&) {
                 const double latency =
                     std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - arrival)
                         .count();
                 const std::lock_guard<std::mutex> lock(mutex);
-                latencies_s[i] = latency;
+                result.latencies_s[i] = latency;
             }));
     }
     for (auto& ticket : tickets) ticket.wait();
-    return latencies_s;
+    result.certificates.reserve(tickets.size());
+    for (auto& ticket : tickets)
+        result.certificates.push_back(
+            ticket.get().certificate.to_text());
+    engine.flush_result_store();
+    result.cache = engine.cache_stats();
+    return result;
 }
 
-void print_table() {
+/// Cold-vs-warm store phases: same trace and directory, two service
+/// lifetimes.  Returns false (and prints why) on any gate violation.
+bool run_store_phases(const Trace& trace, benchjson::Object* artifact) {
+    namespace fs = std::filesystem;
+    const fs::path store_dir =
+        fs::temp_directory_path() / "teamplay_bench_service_trace_store";
+    std::error_code ec;
+    fs::remove_all(store_dir, ec);
+
+    ReplayResult cold, warm;
+    {
+        auto store =
+            std::make_shared<core::ResultStore>(store_dir.string());
+        cold = replay(trace, 2, 4, store);
+    }
+    core::ResultStore::Stats warm_store;
+    {
+        // A *new* instance over the same directory: the warm phase goes
+        // through the restarted-process path — segment scan, mmap, lazy
+        // verify-on-load.
+        auto store =
+            std::make_shared<core::ResultStore>(store_dir.string());
+        warm = replay(trace, 2, 4, store);
+        warm_store = store->stats();
+    }
+    fs::remove_all(store_dir, ec);
+
+    const auto cold_stats = percentiles(cold.latencies_s);
+    const auto warm_stats = percentiles(warm.latencies_s);
+    const bool identical = cold.certificates == warm.certificates;
+    const bool no_recompute = warm.cache.store_misses == 0;
+    const bool faster = warm_stats.p50_ms < cold_stats.p50_ms;
+
+    std::printf("store cold:  p50 %8.2f ms, p95 %8.2f ms "
+                "(%llu spills)\n",
+                cold_stats.p50_ms, cold_stats.p95_ms,
+                static_cast<unsigned long long>(cold.cache.spills));
+    std::printf("store warm:  p50 %8.2f ms, p95 %8.2f ms "
+                "(%llu store hits / %llu store misses, %zu indexed)\n",
+                warm_stats.p50_ms, warm_stats.p95_ms,
+                static_cast<unsigned long long>(warm.cache.store_hits),
+                static_cast<unsigned long long>(warm.cache.store_misses),
+                warm_store.indexed);
+    if (!identical)
+        std::printf("store FAIL: warm certificates differ from cold\n");
+    if (!no_recompute)
+        std::printf("store FAIL: warm run recomputed %llu stored keys\n",
+                    static_cast<unsigned long long>(
+                        warm.cache.store_misses));
+    if (!faster)
+        std::printf("store FAIL: warm p50 not below cold p50\n");
+
+    artifact->push_back(
+        {"store_phases",
+         benchjson::Object{
+             {"cold_p50_ms", cold_stats.p50_ms},
+             {"cold_p95_ms", cold_stats.p95_ms},
+             {"cold_spills", cold.cache.spills},
+             {"warm_p50_ms", warm_stats.p50_ms},
+             {"warm_p95_ms", warm_stats.p95_ms},
+             {"warm_store_hits", warm.cache.store_hits},
+             {"warm_store_misses", warm.cache.store_misses},
+             {"store_indexed", warm_store.indexed},
+             {"certificates_identical", identical},
+             {"warm_faster", faster},
+         }});
+    return identical && no_recompute && faster;
+}
+
+bool print_table() {
     const auto trace = make_trace();
     std::printf("=== E5: service trace, %zu Poisson arrivals "
                 "(uav/pill/rover round-robin) ===\n",
                 trace.requests.size());
     benchjson::Array shard_rows;
     for (const std::size_t shards : {1UL, 2UL, 4UL}) {
-        const auto stats = percentiles(replay(trace, shards, 4));
+        const auto stats =
+            percentiles(replay(trace, shards, 4).latencies_s);
         std::printf("%zu shard(s): completion latency p50 %8.2f ms, "
                     "p95 %8.2f ms\n",
                     shards, stats.p50_ms, stats.p95_ms);
@@ -126,14 +223,16 @@ void print_table() {
             {"p95_ms", stats.p95_ms},
         }));
     }
-    benchjson::write_artifact(
-        "service_trace",
-        benchjson::Value(benchjson::Object{
-            {"experiment", "service_trace"},
-            {"arrivals", trace.requests.size()},
-            {"workers_per_replay", 4},
-            {"shard_sweep", std::move(shard_rows)},
-        }));
+    benchjson::Object artifact{
+        {"experiment", "service_trace"},
+        {"arrivals", trace.requests.size()},
+        {"workers_per_replay", 4},
+        {"shard_sweep", std::move(shard_rows)},
+    };
+    const bool store_ok = run_store_phases(trace, &artifact);
+    benchjson::write_artifact("service_trace",
+                              benchjson::Value(std::move(artifact)));
+    return store_ok;
 }
 
 void BM_ServiceTrace(benchmark::State& state) {
@@ -141,7 +240,7 @@ void BM_ServiceTrace(benchmark::State& state) {
     const auto shards = static_cast<std::size_t>(state.range(0));
     std::vector<double> all;
     for (auto _ : state) {
-        const auto latencies = replay(trace, shards, 4);
+        const auto latencies = replay(trace, shards, 4).latencies_s;
         all.insert(all.end(), latencies.begin(), latencies.end());
     }
     const auto stats = percentiles(std::move(all));
@@ -161,8 +260,11 @@ BENCHMARK(BM_ServiceTrace)
 }  // namespace
 
 int main(int argc, char** argv) {
-    print_table();
+    // A store-phase gate violation (certificate drift, a warm recompute,
+    // no warm speedup) must fail the process: the CI bench-smoke step
+    // relies on this exit code.
+    const bool store_ok = print_table();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return store_ok ? 0 : 1;
 }

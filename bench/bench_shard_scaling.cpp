@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/sharded_engine.hpp"
 #include "usecases/apps.hpp"
 
@@ -92,6 +93,7 @@ bool print_table() {
     const std::uint64_t isolated = isolated_misses(batch);
 
     bool all_identical = true;
+    benchjson::Array shard_rows;
     for (const std::size_t shards : {1UL, 2UL, 4UL}) {
         core::ShardedScenarioEngine engine(
             {.shards = shards, .worker_threads = 4});
@@ -120,10 +122,29 @@ bool print_table() {
             reports.size(),
             identical == reports.size() ? "(OK)" : "(MISMATCH!)");
         all_identical = all_identical && identical == reports.size();
+        shard_rows.push_back(benchjson::Object{
+            {"shards", shards},
+            {"scenarios_per_s", stats.scenarios_per_s},
+            {"wall_s", stats.wall_s},
+            {"cache_hits", stats.cache.hits},
+            {"cache_misses", stats.cache.misses},
+            {"cross_program_hits", cross},
+            {"certificates_identical", identical == reports.size()},
+        });
     }
     std::printf("isolated per-app engines: %llu misses (cross-program "
                 "sharing disabled)\n",
                 static_cast<unsigned long long>(isolated));
+    benchjson::write_artifact(
+        "shard_scaling",
+        benchjson::Object{
+            {"experiment", "E4 sharded service core"},
+            {"scenarios", batch.requests.size()},
+            {"apps", batch.apps.size()},
+            {"isolated_misses", isolated},
+            {"shard_counts", std::move(shard_rows)},
+            {"all_certificates_identical", all_identical},
+        });
     return all_identical;
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/scenario_engine.hpp"
 #include "usecases/apps.hpp"
 
@@ -107,6 +108,26 @@ void print_table() {
                               std::chrono::steady_clock::now() - start)
                               .count();
 
+    // Retrieve the reports (tickets are still holding them — the streamed
+    // callbacks only printed) for the machine-readable artifact.
+    benchjson::Array variants;
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+        try {
+            const auto report = tickets[i].get();
+            variants.push_back(benchjson::Object{
+                {"variant", sweep.requests[i].label},
+                {"makespan_ms", 1e3 * report.schedule.makespan_s},
+                {"energy_mj", 1e3 * report.schedule.dynamic_energy_j()},
+                {"certificate_valid", report.certificate.all_hold()},
+            });
+        } catch (const std::exception& error) {
+            variants.push_back(benchjson::Object{
+                {"variant", sweep.requests[i].label},
+                {"error", error.what()},
+            });
+        }
+    }
+
     const auto cache = engine.cache_stats();
     std::printf("sweep: %zu scenarios in %.3f s (%.2f scenarios/s, "
                 "%zu threads; cache: %llu hits / %llu misses)\n",
@@ -117,6 +138,18 @@ void print_table() {
                 static_cast<unsigned long long>(cache.misses));
     std::printf("per-stage telemetry:\n%s\n",
                 engine.stage_telemetry().to_string().c_str());
+    benchjson::write_artifact(
+        "uav_platform_sweep",
+        benchjson::Object{
+            {"experiment", "E2 UAV platform x DVFS sweep"},
+            {"scenarios", sweep.requests.size()},
+            {"wall_s", wall_s},
+            {"scenarios_per_s",
+             static_cast<double>(sweep.requests.size()) / wall_s},
+            {"cache_hits", cache.hits},
+            {"cache_misses", cache.misses},
+            {"variants", std::move(variants)},
+        });
 }
 
 void BM_UavPlatformSweep(benchmark::State& state) {

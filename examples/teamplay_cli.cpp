@@ -25,13 +25,16 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <vector>
 
 #include "core/advisor.hpp"
+#include "core/result_store.hpp"
 #include "core/sharded_engine.hpp"
 #include "sim/backend.hpp"
 #include "sim/trace.hpp"
@@ -58,6 +61,12 @@ void usage() {
         "                      each result as it completes\n"
         "  --cache-budget <n>  evict evaluation-cache entries beyond n,\n"
         "                      per shard (default 0 = unbounded)\n"
+        "  --store-dir <dir>   persistent result store shared by all\n"
+        "                      shards: misses load from it before\n"
+        "                      computing, results spill back, so a\n"
+        "                      restarted run warm-starts from disk\n"
+        "  --cert-dump <dir>   write each scenario's certificate text to\n"
+        "                      <dir>/<label>.cert (byte-identity audits)\n"
         "  --sim-backend <b>   simulator tier: interp (reference) or trace\n"
         "                      (pre-decoded threaded dispatch; identical\n"
         "                      results, default interp)\n"
@@ -75,6 +84,38 @@ void print_shard_breakdown(const core::ShardedScenarioEngine& engine) {
                     static_cast<unsigned long long>(stats.evictions),
                     stats.entries);
     }
+}
+
+void print_result_store(const core::ShardedScenarioEngine& engine,
+                        const std::shared_ptr<core::ResultStore>& store) {
+    if (store == nullptr) return;
+    const auto cache = engine.cache_stats();
+    const auto stats = store->stats();
+    // Stable key=value shape: the CI warm-start job greps ` misses=0 ` to
+    // prove a warm run recomputed nothing that was already stored.
+    std::printf(
+        "result store: hits=%llu misses=%llu spills=%llu rejects=%llu "
+        "(indexed=%zu segments=%zu scan-rejects=%llu)\n",
+        static_cast<unsigned long long>(cache.store_hits),
+        static_cast<unsigned long long>(cache.store_misses),
+        static_cast<unsigned long long>(cache.spills),
+        static_cast<unsigned long long>(cache.store_rejects),
+        stats.indexed, stats.segments,
+        static_cast<unsigned long long>(stats.scan_rejects));
+}
+
+/// Write one certificate's canonical text to <dir>/<label>.cert so two
+/// runs (cold vs warm-started) can be byte-compared file by file.
+void dump_certificate(const std::string& dir, const std::string& label,
+                      const core::ToolchainReport& report) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const auto path = std::filesystem::path(dir) / (label + ".cert");
+    std::ofstream out(path, std::ios::binary);
+    out << report.certificate.to_text();
+    if (!out)
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     path.string().c_str());
 }
 
 void print_trace_cache(sim::SimBackend backend) {
@@ -127,6 +168,8 @@ int main(int argc, char** argv) {
     std::size_t jobs = 0;
     std::size_t shards = 1;
     std::size_t cache_budget = 0;
+    std::string store_dir;
+    std::string cert_dump_dir;
     sim::SimBackend backend = sim::SimBackend::kInterp;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -148,6 +191,10 @@ int main(int argc, char** argv) {
             shards = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--cache-budget" && i + 1 < argc) {
             cache_budget = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--store-dir" && i + 1 < argc) {
+            store_dir = argv[++i];
+        } else if (arg == "--cert-dump" && i + 1 < argc) {
+            cert_dump_dir = argv[++i];
         } else if (arg == "--sim-backend" && i + 1 < argc) {
             const auto parsed = sim::parse_backend(argv[++i]);
             if (!parsed) {
@@ -239,10 +286,14 @@ int main(int argc, char** argv) {
         // Any machine constructed outside the engine (none today, but the
         // flag should govern the whole process) picks the default up too.
         sim::set_default_backend(backend);
+        std::shared_ptr<core::ResultStore> store;
+        if (!store_dir.empty())
+            store = std::make_shared<core::ResultStore>(store_dir);
         core::ShardedScenarioEngine engine(
             {.shards = shards,
              .worker_threads = jobs,
              .cache_budget = {.max_entries = cache_budget},
+             .result_store = store,
              .sim = {.backend = backend}});
 
         if (stream) {
@@ -288,6 +339,17 @@ int main(int argc, char** argv) {
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)
                     .count();
+            if (!cert_dump_dir.empty()) {
+                for (std::size_t i = 0; i < tickets.size(); ++i) {
+                    try {
+                        dump_certificate(cert_dump_dir, requests[i].label,
+                                         tickets[i].get());
+                    } catch (...) {
+                        // Failure already surfaced through the callback.
+                    }
+                }
+            }
+            engine.flush_result_store();
             const auto cache = engine.cache_stats();
             std::printf(
                 "stream: %zu scenarios in %.3f s (%zu threads; cache: "
@@ -298,6 +360,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cache.evictions),
                 cache.entries);
             print_shard_breakdown(engine);
+            print_result_store(engine, store);
             print_trace_cache(backend);
             if (!quiet)
                 std::printf("--- per-stage telemetry (all shards) ---\n%s",
@@ -313,9 +376,15 @@ int main(int argc, char** argv) {
             all_ok =
                 print_report(reports[i], *requests[i].platform, quiet) &&
                 all_ok;
+        if (!cert_dump_dir.empty())
+            for (std::size_t i = 0; i < reports.size(); ++i)
+                dump_certificate(cert_dump_dir, requests[i].label,
+                                 reports[i]);
+        engine.flush_result_store();
         if (reports.size() > 1)
             std::printf("batch: %s\n", stats.to_string().c_str());
         print_shard_breakdown(engine);
+        print_result_store(engine, store);
         print_trace_cache(backend);
         if (!quiet)
             std::printf("--- per-stage telemetry (all shards) ---\n%s",

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "core/result_store.hpp"
 #include "ir/printer.hpp"
 
 namespace teamplay::core {
@@ -45,6 +46,10 @@ void EvaluationCache::Stats::merge(const Stats& other) {
     hits += other.hits;
     misses += other.misses;
     evictions += other.evictions;
+    store_hits += other.store_hits;
+    store_misses += other.store_misses;
+    spills += other.spills;
+    store_rejects += other.store_rejects;
     entries += other.entries;
     resident_cost += other.resident_cost;
 }
@@ -55,6 +60,10 @@ EvaluationCache::Stats EvaluationCache::Stats::since(
     delta.hits -= before.hits;
     delta.misses -= before.misses;
     delta.evictions -= before.evictions;
+    delta.store_hits -= before.store_hits;
+    delta.store_misses -= before.store_misses;
+    delta.spills -= before.spills;
+    delta.store_rejects -= before.store_rejects;
     return delta;
 }
 
@@ -90,7 +99,33 @@ std::shared_ptr<const EvaluationResult> EvaluationCache::lookup(
     }
     if (owner) {
         try {
-            auto value = std::make_shared<const EvaluationResult>(compute());
+            // A miss consults the attached store before computing: a store
+            // hit was checksum-verified and strictly decoded, and enters
+            // the cache exactly as a computed value would — waiters, LRU
+            // admission and eviction cannot tell the difference.
+            std::shared_ptr<const EvaluationResult> value;
+            if (store_ != nullptr) {
+                auto loaded = store_->load(key);
+                {
+                    const std::lock_guard<std::mutex> lock(mutex_);
+                    switch (loaded.status) {
+                        case ResultStore::LoadStatus::kHit:
+                            ++store_hits_;
+                            break;
+                        case ResultStore::LoadStatus::kMiss:
+                            ++store_misses_;
+                            break;
+                        case ResultStore::LoadStatus::kReject:
+                            ++store_rejects_;
+                            break;
+                    }
+                }
+                if (loaded.result.has_value())
+                    value = std::make_shared<const EvaluationResult>(
+                        std::move(*loaded.result));
+            }
+            if (value == nullptr)
+                value = std::make_shared<const EvaluationResult>(compute());
             const double cost = evaluation_result_cost(*value);
             promise.set_value(std::move(value));
             admit(key, cost);
@@ -108,27 +143,37 @@ std::shared_ptr<const EvaluationResult> EvaluationCache::lookup(
 }
 
 void EvaluationCache::admit(const EvaluationKey& key, double cost) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = entries_.find(key);
-    // Unreachable today — only the owner erases its own key (exception
-    // path), clear() preserves in-flight entries, and eviction only
-    // touches completed ones — kept as a guard so a future policy that
-    // does drop in-flight slots degrades to "uncached", not to a
-    // double-published LRU entry.
-    if (it == entries_.end()) return;
-    it->second.ready = true;
-    it->second.cost = cost;
-    lru_.push_front(key);
-    it->second.lru = lru_.begin();
-    resident_cost_ += cost;
-    evict_over_budget_locked();
+    Spillage spillage;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(key);
+        // Unreachable today — only the owner erases its own key (exception
+        // path), clear() preserves in-flight entries, and eviction only
+        // touches completed ones — kept as a guard so a future policy that
+        // does drop in-flight slots degrades to "uncached", not to a
+        // double-published LRU entry.
+        if (it == entries_.end()) return;
+        it->second.ready = true;
+        it->second.cost = cost;
+        lru_.push_front(key);
+        it->second.lru = lru_.begin();
+        resident_cost_ += cost;
+        evict_over_budget_locked(store_ != nullptr ? &spillage : nullptr);
+    }
+    // Spill outside the cache lock: encoding a compiled front is far too
+    // expensive to serialise every concurrent lookup behind.
+    spill(spillage);
 }
 
-void EvaluationCache::evict_over_budget_locked() {
+void EvaluationCache::evict_over_budget_locked(Spillage* spillage) {
     while (!lru_.empty() &&
            ((budget_.max_entries > 0 && lru_.size() > budget_.max_entries) ||
             (budget_.max_cost > 0.0 && resident_cost_ > budget_.max_cost))) {
         const auto victim = entries_.find(lru_.back());
+        // Spill-on-evict: the value future is ready (eviction only touches
+        // completed entries), so get() is a lock-free read here.
+        if (spillage != nullptr)
+            spillage->emplace_back(victim->first, victim->second.slot.get());
         resident_cost_ -= victim->second.cost;
         entries_.erase(victim);
         lru_.pop_back();
@@ -136,12 +181,40 @@ void EvaluationCache::evict_over_budget_locked() {
     }
 }
 
+void EvaluationCache::spill(const Spillage& spillage) {
+    if (store_ == nullptr || spillage.empty()) return;
+    std::uint64_t appended = 0;
+    for (const auto& [key, value] : spillage)
+        if (store_->store(key, *value)) ++appended;
+    if (appended > 0) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        spills_ += appended;
+    }
+}
+
+void EvaluationCache::flush_to_store() {
+    if (store_ == nullptr) return;
+    Spillage resident;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& [key, entry] : entries_)
+            if (entry.ready) resident.emplace_back(key, entry.slot.get());
+    }
+    spill(resident);
+}
+
+EvaluationCache::~EvaluationCache() { flush_to_store(); }
+
 EvaluationCache::Stats EvaluationCache::stats() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     Stats stats;
     stats.hits = hits_;
     stats.misses = misses_;
     stats.evictions = evictions_;
+    stats.store_hits = store_hits_;
+    stats.store_misses = store_misses_;
+    stats.spills = spills_;
+    stats.store_rejects = store_rejects_;
     stats.entries = entries_.size();
     stats.resident_cost = resident_cost_;
     return stats;
@@ -160,6 +233,10 @@ void EvaluationCache::clear() {
     hits_ = 0;
     misses_ = 0;
     evictions_ = 0;
+    store_hits_ = 0;
+    store_misses_ = 0;
+    spills_ = 0;
+    store_rejects_ = 0;
 }
 
 }  // namespace teamplay::core

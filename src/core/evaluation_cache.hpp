@@ -28,6 +28,17 @@
 // single entry (which simply makes that entry uncached after its waiters
 // are served).  Eviction changes only *when* a value is recomputed, never
 // the value: results stay byte-identical under any budget.
+//
+// Persistence: an optional attached ResultStore (result_store.hpp) gives
+// completed entries a life beyond the process.  A miss consults the store
+// before computing — a store hit is decoded, checksum-verified and
+// admitted exactly as if computed, so single-flight semantics, eviction
+// and determinism are untouched; entries spill to the store on LRU
+// eviction and on shutdown flush (`flush_to_store`, run by the
+// destructor).  The store is shared: several caches (engine shards) and
+// several processes can point at one directory, which is how a restarted
+// or sibling service warm-starts.  Store corruption is never fatal — a
+// rejected frame is counted and the entry recomputed.
 #pragma once
 
 #include <cstdint>
@@ -38,12 +49,15 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "compiler/multi_criteria.hpp"
 #include "profiler/pow_profiler.hpp"
 
 namespace teamplay::core {
+
+class ResultStore;
 
 /// What a cache entry holds.
 enum class AnalysisKind : std::uint8_t {
@@ -114,7 +128,12 @@ public:
     };
 
     EvaluationCache() = default;
-    explicit EvaluationCache(Budget budget) : budget_(budget) {}
+    /// `store` (may be null) persists completed entries across processes;
+    /// it is fixed for the cache's lifetime, so no lock guards the pointer.
+    explicit EvaluationCache(Budget budget,
+                             std::shared_ptr<ResultStore> store = nullptr)
+        : budget_(budget), store_(std::move(store)) {}
+    ~EvaluationCache();
 
     /// Return the result for `key`, invoking `compute` exactly once per
     /// *resident generation* of the key across all threads (an evicted key
@@ -130,6 +149,15 @@ public:
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::uint64_t evictions = 0;   ///< entries dropped to hold the budget
+        /// Result-store traffic of *this cache* (all zero without an
+        /// attached store).  A store hit is also a cache miss — the miss
+        /// was served by decoding instead of computing; `store_misses`
+        /// counts the misses that had to compute, so "recomputes of
+        /// previously stored keys" is exactly this counter on a warm run.
+        std::uint64_t store_hits = 0;
+        std::uint64_t store_misses = 0;
+        std::uint64_t spills = 0;         ///< entries appended to the store
+        std::uint64_t store_rejects = 0;  ///< corrupt frames → recomputed
         std::size_t entries = 0;       ///< live entries (incl. in-flight)
         double resident_cost = 0.0;    ///< summed cost of completed entries
 
@@ -156,10 +184,18 @@ public:
     [[nodiscard]] Budget budget() const { return budget_; }
 
     /// Drop every completed entry and reset all counters (hits, misses,
-    /// evictions) to zero — documented behaviour, relied on by callers that
-    /// reuse one engine across measurement phases.  In-flight slots are
-    /// left untouched so concurrent waiters still observe single-flight.
+    /// evictions, store counters) to zero — documented behaviour, relied on
+    /// by callers that reuse one engine across measurement phases.  Nothing
+    /// is spilled: callers that want the dropped entries persisted call
+    /// `flush_to_store` first.  In-flight slots are left untouched so
+    /// concurrent waiters still observe single-flight.
     void clear();
+
+    /// Spill every completed resident entry to the attached store (no-op
+    /// without one; entries the store already holds are skipped).  The
+    /// destructor calls this, so a cache that dies with its engine leaves
+    /// its completed work behind for the next process.
+    void flush_to_store();
 
 private:
     using Slot = std::shared_future<std::shared_ptr<const EvaluationResult>>;
@@ -171,12 +207,21 @@ private:
         std::list<EvaluationKey>::iterator lru{}; ///< valid iff ready
     };
 
+    using Spillage =
+        std::vector<std::pair<EvaluationKey,
+                              std::shared_ptr<const EvaluationResult>>>;
+
     /// Mark `key` completed, put it at the hot end of the LRU list, and
-    /// evict cold completed entries until the budget holds.
+    /// evict cold completed entries until the budget holds (spilling the
+    /// victims to the attached store, outside the cache lock).
     void admit(const EvaluationKey& key, double cost);
-    void evict_over_budget_locked();
+    void evict_over_budget_locked(Spillage* spillage);
+    void spill(const Spillage& spillage);
 
     Budget budget_;
+    /// Immutable after construction (no lock needed to read the pointer;
+    /// the store has its own internal synchronisation).
+    std::shared_ptr<ResultStore> store_;
     mutable std::mutex mutex_;
     std::map<EvaluationKey, Entry> entries_;
     std::list<EvaluationKey> lru_;  ///< completed keys, hot front, cold back
@@ -184,6 +229,10 @@ private:
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t evictions_ = 0;
+    std::uint64_t store_hits_ = 0;
+    std::uint64_t store_misses_ = 0;
+    std::uint64_t spills_ = 0;
+    std::uint64_t store_rejects_ = 0;
 };
 
 }  // namespace teamplay::core

@@ -104,7 +104,8 @@ std::string BatchStats::to_string() const {
 // -- ScenarioEngine -----------------------------------------------------------
 
 ScenarioEngine::ScenarioEngine(Options options)
-    : cache_(options.cache_budget), sim_(std::move(options.sim)),
+    : cache_(options.cache_budget, std::move(options.result_store)),
+      sim_(std::move(options.sim)),
       predictable_stages_(predictable_stage_configuration()),
       complex_stages_(complex_stage_configuration()),
       pool_(options.worker_threads) {

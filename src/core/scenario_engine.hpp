@@ -157,6 +157,11 @@ public:
         /// Evaluation-cache retention budget; default unbounded (batch
         /// mode).  A long-lived service should set one.
         EvaluationCache::Budget cache_budget;
+        /// Optional persistent result store (result_store.hpp), shared
+        /// with sibling engines and future processes: cache misses consult
+        /// it before computing, evicted and shutdown-resident entries
+        /// spill back.  Null = in-memory cache only.
+        std::shared_ptr<ResultStore> result_store;
         /// Simulator tier for every machine this engine constructs
         /// (profiling campaigns, complex-core evaluation).  Defaults to the
         /// process-wide backend; results are backend-invariant, so this is
@@ -200,6 +205,11 @@ public:
         return cache_.stats();
     }
     void clear_cache() { cache_.clear(); }
+
+    /// Spill every completed cache entry to the attached result store
+    /// (no-op without one).  Runs automatically at destruction; call it
+    /// explicitly before sampling store statistics mid-lifetime.
+    void flush_result_store() { cache_.flush_to_store(); }
 
     /// Simulator configuration in force (with the trace cache materialised
     /// when the trace backend is active); null cache under kInterp.

@@ -53,6 +53,7 @@ ShardedScenarioEngine::ShardedScenarioEngine(Options options) {
             options.worker_threads / shard_count +
             (i < options.worker_threads % shard_count ? 1 : 0);
         shard_options.cache_budget = options.cache_budget;
+        shard_options.result_store = options.result_store;
         shard_options.sim = options.sim;
         shards_.push_back(std::make_unique<ScenarioEngine>(shard_options));
     }
@@ -165,6 +166,10 @@ std::size_t ShardedScenarioEngine::concurrency() const {
     std::size_t total = 0;
     for (const auto& shard : shards_) total += shard->concurrency();
     return total;
+}
+
+void ShardedScenarioEngine::flush_result_store() {
+    for (const auto& shard : shards_) shard->flush_result_store();
 }
 
 void ShardedScenarioEngine::clear_caches() {

@@ -53,6 +53,11 @@ public:
         std::size_t worker_threads = 0;
         /// Evaluation-cache retention budget *per shard*.
         EvaluationCache::Budget cache_budget;
+        /// One persistent result store shared by *all* shards (unlike the
+        /// per-shard caches): an entry computed by shard A warm-starts
+        /// shard B — and, through the same directory, a restarted process
+        /// or a sibling service.  Null = in-memory caches only.
+        std::shared_ptr<ResultStore> result_store;
         /// Simulator tier shared by every shard.  With the trace backend
         /// and no explicit cache, one TraceCache is materialised here and
         /// shared across shards: unlike the evaluation caches (isolated per
@@ -103,6 +108,11 @@ public:
 
     /// Fold of every shard's cumulative per-stage telemetry.
     [[nodiscard]] StageTelemetry stage_telemetry() const;
+
+    /// Spill every shard's completed cache entries to the shared result
+    /// store (no-op without one); the store deduplicates, so entries two
+    /// shards both hold are written once.
+    void flush_result_store();
 
     /// Threads that can execute work across all shards (per-shard workers
     /// plus each shard's calling thread).

@@ -408,6 +408,10 @@ void put_cache_stats(Writer& writer, const EvaluationCache::Stats& stats) {
     writer.u64(stats.hits);
     writer.u64(stats.misses);
     writer.u64(stats.evictions);
+    writer.u64(stats.store_hits);
+    writer.u64(stats.store_misses);
+    writer.u64(stats.spills);
+    writer.u64(stats.store_rejects);
     writer.u64(stats.entries);
     writer.f64(stats.resident_cost);
 }
@@ -417,6 +421,10 @@ EvaluationCache::Stats get_cache_stats(Reader& reader) {
     stats.hits = reader.u64();
     stats.misses = reader.u64();
     stats.evictions = reader.u64();
+    stats.store_hits = reader.u64();
+    stats.store_misses = reader.u64();
+    stats.spills = reader.u64();
+    stats.store_rejects = reader.u64();
     stats.entries = reader.u64();
     stats.resident_cost = reader.f64();
     return stats;
@@ -544,6 +552,30 @@ BatchStats decode_batch_stats(std::span<const std::uint8_t> buffer) {
     stats.stage_telemetry = get_telemetry(reader);
     expect_fully_consumed(reader);
     return stats;
+}
+
+// -- frame streams ------------------------------------------------------------
+
+void append_frame(Buffer& stream, std::span<const std::uint8_t> message) {
+    const auto length = static_cast<std::uint32_t>(message.size());
+    for (int shift = 0; shift < 32; shift += 8)
+        stream.push_back(static_cast<std::uint8_t>(length >> shift));
+    stream.insert(stream.end(), message.begin(), message.end());
+}
+
+std::optional<std::span<const std::uint8_t>> next_frame(
+    std::span<const std::uint8_t> stream, std::size_t& offset) {
+    if (offset == stream.size()) return std::nullopt;
+    if (stream.size() - offset < 4)
+        throw WireFormatError("frame length prefix truncated");
+    std::uint32_t length = 0;
+    for (int shift = 0; shift < 32; shift += 8)
+        length |= static_cast<std::uint32_t>(stream[offset++]) << shift;
+    if (length > stream.size() - offset)
+        throw WireFormatError("frame payload truncated");
+    const auto payload = stream.subspan(offset, length);
+    offset += length;
+    return payload;
 }
 
 }  // namespace teamplay::core::wire

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -39,7 +40,9 @@
 namespace teamplay::core::wire {
 
 /// Current wire format generation.  Bump on any layout change.
-inline constexpr std::uint16_t kVersion = 1;
+/// v2: EvaluationCache::Stats gained the result-store counters
+/// (store_hits/store_misses/spills/store_rejects) inside BatchStats.
+inline constexpr std::uint16_t kVersion = 2;
 
 /// Base class of every codec error.
 class WireError : public std::runtime_error {
@@ -81,5 +84,23 @@ using Buffer = std::vector<std::uint8_t>;
     std::span<const std::uint8_t> buffer);
 [[nodiscard]] BatchStats decode_batch_stats(
     std::span<const std::uint8_t> buffer);
+
+// -- frame streams ------------------------------------------------------------
+//
+// Length-prefixed framing for byte streams of wire messages (an on-disk
+// result-store segment, a future socket transport): u32 LE payload length
+// followed by the payload.  The payload is itself a sealed wire message,
+// so stream corruption is caught either by the framing bounds here or by
+// the message checksum inside the frame.
+
+/// Append `message` to `stream` as one length-prefixed frame.
+void append_frame(Buffer& stream, std::span<const std::uint8_t> message);
+
+/// Read the frame starting at `offset` and advance `offset` past it.
+/// Returns the payload view (into `stream`), nullopt at the exact end of
+/// the stream, and throws WireFormatError on a torn length or payload —
+/// the three cases a segment scanner must distinguish.
+[[nodiscard]] std::optional<std::span<const std::uint8_t>> next_frame(
+    std::span<const std::uint8_t> stream, std::size_t& offset);
 
 }  // namespace teamplay::core::wire

@@ -210,6 +210,10 @@ TEST(Wire, BatchStatsRoundTrip) {
     stats.cache.hits = 100;
     stats.cache.misses = 40;
     stats.cache.evictions = 7;
+    stats.cache.store_hits = 21;
+    stats.cache.store_misses = 19;
+    stats.cache.spills = 9;
+    stats.cache.store_rejects = 2;
     stats.cache.entries = 33;
     stats.cache.resident_cost = 112.5;
     stats.stage_telemetry.record("schedule", 0.125);
@@ -223,6 +227,10 @@ TEST(Wire, BatchStatsRoundTrip) {
     EXPECT_EQ(decoded.cache.hits, stats.cache.hits);
     EXPECT_EQ(decoded.cache.misses, stats.cache.misses);
     EXPECT_EQ(decoded.cache.evictions, stats.cache.evictions);
+    EXPECT_EQ(decoded.cache.store_hits, stats.cache.store_hits);
+    EXPECT_EQ(decoded.cache.store_misses, stats.cache.store_misses);
+    EXPECT_EQ(decoded.cache.spills, stats.cache.spills);
+    EXPECT_EQ(decoded.cache.store_rejects, stats.cache.store_rejects);
     EXPECT_EQ(decoded.cache.entries, stats.cache.entries);
     EXPECT_EQ(decoded.cache.resident_cost, stats.cache.resident_cost);
     EXPECT_EQ(decoded.stage_telemetry.stages().at("schedule").count, 1U);
