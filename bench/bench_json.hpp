@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -129,6 +131,29 @@ private:
     std::shared_ptr<Array> array_;
 };
 
+/// The commit this artifact measures: the TEAMPLAY_GIT_SHA environment
+/// variable when set (CI exports the exact SHA it checked out), else the
+/// SHA baked in at configure time, else "unknown".
+inline std::string git_sha() {
+    if (const char* env = std::getenv("TEAMPLAY_GIT_SHA");
+        env != nullptr && *env != '\0')
+        return env;
+#ifdef TEAMPLAY_GIT_SHA
+    return TEAMPLAY_GIT_SHA;
+#else
+    return "unknown";
+#endif
+}
+
+inline std::string utc_timestamp() {
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    gmtime_r(&now, &utc);
+    char buffer[32];
+    std::strftime(buffer, sizeof buffer, "%Y-%m-%dT%H:%M:%SZ", &utc);
+    return buffer;
+}
+
 /// Serialise `root` to `BENCH_<name>.json` in the working directory
 /// (where CI collects artifacts).  The text is staged in a sibling
 /// `.tmp` file and renamed into place, so a collector (or a crashed
@@ -136,10 +161,28 @@ private:
 /// holds the previous complete run or the new one.  Returns false on I/O
 /// failure — benches warn but do not fail the run over an unwritable
 /// artifact.
+///
+/// Every artifact self-identifies: `git_sha` and `generated_utc` are
+/// spliced into the front of the root object (non-object roots are
+/// wrapped as `{"git_sha":...,"generated_utc":...,"data":<root>}`), so a
+/// stray BENCH file can always be traced back to the commit and time that
+/// produced it.
 inline bool write_artifact(const std::string& name, const Value& root) {
     std::ostringstream os;
     root.dump(os);
-    os << '\n';
+    std::string text = os.str();
+    std::ostringstream stamp;
+    stamp << "\"git_sha\":";
+    Value(git_sha()).dump(stamp);
+    stamp << ",\"generated_utc\":\"" << utc_timestamp() << "\"";
+    if (!text.empty() && text.front() == '{') {
+        const bool empty_object = text == "{}";
+        text = "{" + stamp.str() + (empty_object ? "" : ",") +
+               text.substr(1);
+    } else {
+        text = "{" + stamp.str() + ",\"data\":" + text + "}";
+    }
+    text += '\n';
     const std::string path = "BENCH_" + name + ".json";
     const std::string staged = path + ".tmp";
     std::FILE* file = std::fopen(staged.c_str(), "w");
@@ -147,7 +190,6 @@ inline bool write_artifact(const std::string& name, const Value& root) {
         std::fprintf(stderr, "warning: cannot write %s\n", staged.c_str());
         return false;
     }
-    const std::string text = os.str();
     bool ok = std::fwrite(text.data(), 1, text.size(), file) == text.size();
     ok = std::fflush(file) == 0 && ok;
     std::fclose(file);

@@ -205,6 +205,94 @@ bool run_store_phases(const Trace& trace, benchjson::Object* artifact) {
     return identical && no_recompute && faster;
 }
 
+/// Cancellation-rate sensitivity: replay the trace while cancelling a
+/// seeded subset of tickets right after submission (mid-flight: some are
+/// still queued and die unstarted, some already run and complete).  Rows
+/// report how survivor completion latency moves as 0/10/30% of the load
+/// is cancelled.  Gates are on the *accounting*, which must be exact at
+/// every rate: no cancellations observed at 0%, every ticket either
+/// completes or raises CancelledError, and nothing else throws.
+bool run_cancellation_sweep(const Trace& trace,
+                            benchjson::Object* artifact) {
+    benchjson::Array rows;
+    bool ok = true;
+    for (const int percent : {0, 10, 30}) {
+        core::ShardedScenarioEngine engine(
+            {.shards = 2, .worker_threads = 4});
+        std::mt19937_64 rng(1234 + static_cast<std::uint64_t>(percent));
+        std::bernoulli_distribution pick(percent / 100.0);
+
+        std::mutex mutex;
+        std::vector<double> survivor_latencies;
+        std::vector<core::ScenarioTicket> tickets;
+        tickets.reserve(trace.requests.size());
+        std::size_t requested = 0;
+        for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(trace.gaps_s[i]));
+            const auto arrival = std::chrono::steady_clock::now();
+            tickets.push_back(engine.submit(
+                trace.requests[i],
+                [&survivor_latencies, &mutex,
+                 arrival](const core::ScenarioOutcome& outcome) {
+                    if (outcome.report == nullptr) return;
+                    const double latency =
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - arrival)
+                            .count();
+                    const std::lock_guard<std::mutex> lock(mutex);
+                    survivor_latencies.push_back(latency);
+                }));
+            if (pick(rng)) {
+                ++requested;
+                tickets.back().cancel();
+            }
+        }
+
+        std::size_t completed = 0;
+        std::size_t cancelled = 0;
+        std::size_t errors = 0;
+        for (auto& ticket : tickets) {
+            try {
+                (void)ticket.get();
+                ++completed;
+            } catch (const core::CancelledError&) {
+                ++cancelled;
+            } catch (...) {
+                ++errors;
+            }
+        }
+
+        const bool accounted =
+            completed + cancelled == trace.requests.size() &&
+            errors == 0 && cancelled <= requested &&
+            (percent > 0 || cancelled == 0);
+        const auto stats = survivor_latencies.empty()
+                               ? Percentiles{}
+                               : percentiles(survivor_latencies);
+        std::printf("cancel %2d%%: %2zu cancelled of %2zu requested, "
+                    "survivors p50 %8.2f ms, p95 %8.2f ms%s\n",
+                    percent, cancelled, requested, stats.p50_ms,
+                    stats.p95_ms, accounted ? "" : "  [FAIL accounting]");
+        if (!accounted)
+            std::printf("cancel FAIL: %zu completed + %zu cancelled + "
+                        "%zu errors over %zu tickets (rate %d%%)\n",
+                        completed, cancelled, errors,
+                        trace.requests.size(), percent);
+        ok = ok && accounted;
+        rows.push_back(benchjson::Value(benchjson::Object{
+            {"rate_percent", percent},
+            {"requested", requested},
+            {"cancelled", cancelled},
+            {"completed", completed},
+            {"survivor_p50_ms", stats.p50_ms},
+            {"survivor_p95_ms", stats.p95_ms},
+        }));
+    }
+    artifact->push_back({"cancellation_sweep", std::move(rows)});
+    return ok;
+}
+
 bool print_table() {
     const auto trace = make_trace();
     std::printf("=== E5: service trace, %zu Poisson arrivals "
@@ -229,10 +317,11 @@ bool print_table() {
         {"workers_per_replay", 4},
         {"shard_sweep", std::move(shard_rows)},
     };
+    const bool cancel_ok = run_cancellation_sweep(trace, &artifact);
     const bool store_ok = run_store_phases(trace, &artifact);
     benchjson::write_artifact("service_trace",
                               benchjson::Value(std::move(artifact)));
-    return store_ok;
+    return store_ok && cancel_ok;
 }
 
 void BM_ServiceTrace(benchmark::State& state) {

@@ -17,12 +17,21 @@
 //   $ ./example_teamplay_cli --all --jobs 4 --quiet
 //   $ ./example_teamplay_cli --all --jobs 4 --stream --cache-budget 16
 //   $ ./example_teamplay_cli --all --jobs 4 --shards 2 --quiet
+//   $ ./example_teamplay_cli --serve 7791 --jobs 4
+//   $ ./example_teamplay_cli --all --shards 0 --remote 127.0.0.1:7791
 //
 // With `--shards N`, scenarios are routed across N engine shards by the
 // structural fingerprint of their task entry kernels (same-kernel
 // scenarios land where the cache is warm); the report merges per-shard
 // cache and stage telemetry.
+//
+// `--serve <port>` turns the process into a shard server: one engine
+// behind the fabric RPC loop, until SIGINT/SIGTERM.  `--remote host:port`
+// adds that server to the routing domain of this process (with
+// `--shards 0` everything crosses the wire), and `--fetch-peer host:port`
+// consults the peer's warm cache on local misses before recomputing.
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -36,6 +45,7 @@
 #include "core/advisor.hpp"
 #include "core/result_store.hpp"
 #include "core/sharded_engine.hpp"
+#include "net/shard_server.hpp"
 #include "sim/backend.hpp"
 #include "sim/trace.hpp"
 #include "usecases/apps.hpp"
@@ -57,6 +67,14 @@ void usage() {
         "  --jobs <n>          engine worker threads (default 0 = caller)\n"
         "  --shards <n>        split the engine into n cache shards routed\n"
         "                      by kernel structural fingerprint (default 1)\n"
+        "  --serve <port>      run as a shard server: bind the port and\n"
+        "                      serve scenario RPCs until SIGINT/SIGTERM\n"
+        "                      (engine flags configure the served engine)\n"
+        "  --remote <h:p>      add a remote shard server to the routing\n"
+        "                      domain (repeatable; with --shards 0 every\n"
+        "                      scenario crosses the wire)\n"
+        "  --fetch-peer <h:p>  consult this fabric peer's cache on local\n"
+        "                      misses before recomputing (repeatable)\n"
         "  --stream            submit scenarios asynchronously and print\n"
         "                      each result as it completes\n"
         "  --cache-budget <n>  evict evaluation-cache entries beyond n,\n"
@@ -74,8 +92,10 @@ void usage() {
 }
 
 void print_shard_breakdown(const core::ShardedScenarioEngine& engine) {
-    if (engine.shard_count() <= 1) return;
-    for (std::size_t shard = 0; shard < engine.shard_count(); ++shard) {
+    // Local shards only: a remote engine prints its own breakdown.
+    if (engine.local_shard_count() <= 1) return;
+    for (std::size_t shard = 0; shard < engine.local_shard_count();
+         ++shard) {
         const auto stats = engine.shard_cache_stats(shard);
         std::printf("  shard %zu: %llu hits / %llu misses, %llu evictions, "
                     "%zu entries\n",
@@ -102,6 +122,18 @@ void print_result_store(const core::ShardedScenarioEngine& engine,
         static_cast<unsigned long long>(cache.store_rejects),
         stats.indexed, stats.segments,
         static_cast<unsigned long long>(stats.scan_rejects));
+}
+
+void print_remote_fetch(const core::ShardedScenarioEngine& engine,
+                        bool fetch_peers_configured) {
+    if (!fetch_peers_configured) return;
+    const auto cache = engine.cache_stats();
+    // Stable key=value shape: the CI loopback job greps ` misses=0` to
+    // prove every local miss was served from the peer's warm cache
+    // without a recompute.
+    std::printf("remote fetch: hits=%llu misses=%llu\n",
+                static_cast<unsigned long long>(cache.remote_hits),
+                static_cast<unsigned long long>(cache.remote_misses));
 }
 
 /// Write one certificate's canonical text to <dir>/<label>.cert so two
@@ -170,8 +202,23 @@ int main(int argc, char** argv) {
     std::size_t cache_budget = 0;
     std::string store_dir;
     std::string cert_dump_dir;
+    std::vector<std::string> remote_endpoints;
+    std::vector<std::string> fetch_peers;
+    bool serve = false;
+    std::uint16_t serve_port = 0;
     sim::SimBackend backend = sim::SimBackend::kInterp;
-    for (int i = 2; i < argc; ++i) {
+    int opt_start = 2;
+    if (which == "--serve") {
+        if (argc < 3) {
+            usage();
+            return 2;
+        }
+        serve = true;
+        serve_port =
+            static_cast<std::uint16_t>(std::strtoul(argv[2], nullptr, 10));
+        opt_start = 3;
+    }
+    for (int i = opt_start; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--platform" && i + 1 < argc) {
             platform_override = argv[++i];
@@ -189,6 +236,10 @@ int main(int argc, char** argv) {
             jobs = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--shards" && i + 1 < argc) {
             shards = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--remote" && i + 1 < argc) {
+            remote_endpoints.emplace_back(argv[++i]);
+        } else if (arg == "--fetch-peer" && i + 1 < argc) {
+            fetch_peers.emplace_back(argv[++i]);
         } else if (arg == "--cache-budget" && i + 1 < argc) {
             cache_budget = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--store-dir" && i + 1 < argc) {
@@ -211,6 +262,39 @@ int main(int argc, char** argv) {
     }
 
     try {
+        if (serve) {
+            // Block the termination signals *before* the server threads
+            // exist so every thread inherits the mask and sigwait below is
+            // the only consumer.
+            sigset_t signals;
+            sigemptyset(&signals);
+            sigaddset(&signals, SIGINT);
+            sigaddset(&signals, SIGTERM);
+            pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+            sim::set_default_backend(backend);
+            net::ShardServer::Options server_options;
+            server_options.port = serve_port;
+            server_options.engine.worker_threads = jobs;
+            server_options.engine.cache_budget = {.max_entries =
+                                                      cache_budget};
+            if (!store_dir.empty())
+                server_options.engine.result_store =
+                    std::make_shared<core::ResultStore>(store_dir);
+            server_options.engine.sim = {.backend = backend};
+            net::ShardServer server(std::move(server_options));
+            std::printf("shard server: listening on port %u\n",
+                        static_cast<unsigned>(server.port()));
+            std::fflush(stdout);  // readiness line for scripted callers
+            int signal_number = 0;
+            sigwait(&signals, &signal_number);
+            std::printf("shard server: shutting down (signal %d)\n",
+                        signal_number);
+            server.stop();
+            server.engine().flush_result_store();
+            return 0;
+        }
+
         core::WorkflowOptions options;
         options.compiler.seed = seed;
         options.scheduler.seed = seed;
@@ -294,7 +378,9 @@ int main(int argc, char** argv) {
              .worker_threads = jobs,
              .cache_budget = {.max_entries = cache_budget},
              .result_store = store,
-             .sim = {.backend = backend}});
+             .sim = {.backend = backend},
+             .remote_endpoints = remote_endpoints,
+             .fetch_peers = fetch_peers});
 
         if (stream) {
             // Service-core view: consume results in completion order via
@@ -361,6 +447,7 @@ int main(int argc, char** argv) {
                 cache.entries);
             print_shard_breakdown(engine);
             print_result_store(engine, store);
+            print_remote_fetch(engine, !fetch_peers.empty());
             print_trace_cache(backend);
             if (!quiet)
                 std::printf("--- per-stage telemetry (all shards) ---\n%s",
@@ -385,6 +472,7 @@ int main(int argc, char** argv) {
             std::printf("batch: %s\n", stats.to_string().c_str());
         print_shard_breakdown(engine);
         print_result_store(engine, store);
+        print_remote_fetch(engine, !fetch_peers.empty());
         print_trace_cache(backend);
         if (!quiet)
             std::printf("--- per-stage telemetry (all shards) ---\n%s",

@@ -50,6 +50,8 @@ void EvaluationCache::Stats::merge(const Stats& other) {
     store_misses += other.store_misses;
     spills += other.spills;
     store_rejects += other.store_rejects;
+    remote_hits += other.remote_hits;
+    remote_misses += other.remote_misses;
     entries += other.entries;
     resident_cost += other.resident_cost;
 }
@@ -64,6 +66,8 @@ EvaluationCache::Stats EvaluationCache::Stats::since(
     delta.store_misses -= before.store_misses;
     delta.spills -= before.spills;
     delta.store_rejects -= before.store_rejects;
+    delta.remote_hits -= before.remote_hits;
+    delta.remote_misses -= before.remote_misses;
     return delta;
 }
 
@@ -123,6 +127,38 @@ std::shared_ptr<const EvaluationResult> EvaluationCache::lookup(
                 if (loaded.result.has_value())
                     value = std::make_shared<const EvaluationResult>(
                         std::move(*loaded.result));
+            }
+            // Neither tier of local storage had it: ask the fabric before
+            // doing the work.  A fetched result was checksum-verified and
+            // strictly decoded by the peer's wire codec, so — like a store
+            // hit — it is admitted exactly as if computed.
+            if (value == nullptr) {
+                RemoteFetch fetch;
+                {
+                    const std::lock_guard<std::mutex> lock(mutex_);
+                    fetch = remote_fetch_;
+                }
+                if (fetch) {
+                    std::optional<EvaluationResult> fetched;
+                    try {
+                        fetched = fetch(key);
+                    } catch (...) {
+                        // A fetch hook must swallow transport failures; if
+                        // one leaks anyway, degrade to a miss — the fabric
+                        // is an optimisation, never a dependency.
+                        fetched.reset();
+                    }
+                    {
+                        const std::lock_guard<std::mutex> lock(mutex_);
+                        if (fetched.has_value())
+                            ++remote_hits_;
+                        else
+                            ++remote_misses_;
+                    }
+                    if (fetched.has_value())
+                        value = std::make_shared<const EvaluationResult>(
+                            std::move(*fetched));
+                }
             }
             if (value == nullptr)
                 value = std::make_shared<const EvaluationResult>(compute());
@@ -205,6 +241,31 @@ void EvaluationCache::flush_to_store() {
 
 EvaluationCache::~EvaluationCache() { flush_to_store(); }
 
+void EvaluationCache::set_remote_fetch(RemoteFetch fetch) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    remote_fetch_ = std::move(fetch);
+}
+
+std::shared_ptr<const EvaluationResult> EvaluationCache::peek(
+    const EvaluationKey& key) const {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end() && it->second.ready)
+            return it->second.slot.get();
+    }
+    // Not resident (or still computing): the store may hold it from an
+    // earlier lifetime or a sibling's spill.  Loaded directly — the probe
+    // serves a *peer's* cache, so nothing is admitted here.
+    if (store_ != nullptr) {
+        auto loaded = store_->load(key);
+        if (loaded.result.has_value())
+            return std::make_shared<const EvaluationResult>(
+                std::move(*loaded.result));
+    }
+    return nullptr;
+}
+
 EvaluationCache::Stats EvaluationCache::stats() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     Stats stats;
@@ -215,6 +276,8 @@ EvaluationCache::Stats EvaluationCache::stats() const {
     stats.store_misses = store_misses_;
     stats.spills = spills_;
     stats.store_rejects = store_rejects_;
+    stats.remote_hits = remote_hits_;
+    stats.remote_misses = remote_misses_;
     stats.entries = entries_.size();
     stats.resident_cost = resident_cost_;
     return stats;
@@ -237,6 +300,8 @@ void EvaluationCache::clear() {
     store_misses_ = 0;
     spills_ = 0;
     store_rejects_ = 0;
+    remote_hits_ = 0;
+    remote_misses_ = 0;
 }
 
 }  // namespace teamplay::core

@@ -48,6 +48,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -115,6 +116,13 @@ class EvaluationCache {
 public:
     using Compute = std::function<EvaluationResult()>;
 
+    /// Remote cache tier (net/remote_shard.hpp): asks a fabric peer for a
+    /// result it may already hold.  Returns nullopt on a peer miss; any
+    /// transport failure must be swallowed by the callable or it is treated
+    /// as a miss — a flaky peer can never fail a lookup, only slow it.
+    using RemoteFetch =
+        std::function<std::optional<EvaluationResult>(const EvaluationKey&)>;
+
     /// Retention budget; 0 means unbounded on that axis.  `max_entries`
     /// bounds completed resident entries, `max_cost` bounds their summed
     /// `evaluation_result_cost`.
@@ -158,6 +166,13 @@ public:
         std::uint64_t store_misses = 0;
         std::uint64_t spills = 0;         ///< entries appended to the store
         std::uint64_t store_rejects = 0;  ///< corrupt frames → recomputed
+        /// Remote-fetch traffic (all zero without a fetch hook): misses
+        /// that the store could not serve ask a fabric peer before
+        /// computing.  `remote_misses` counts the lookups that then had to
+        /// compute locally, so "recomputes of results a peer held" is
+        /// exactly zero remote misses on a fully warmed fabric.
+        std::uint64_t remote_hits = 0;
+        std::uint64_t remote_misses = 0;
         std::size_t entries = 0;       ///< live entries (incl. in-flight)
         double resident_cost = 0.0;    ///< summed cost of completed entries
 
@@ -182,6 +197,21 @@ public:
 
     [[nodiscard]] Stats stats() const;
     [[nodiscard]] Budget budget() const { return budget_; }
+
+    /// Install (or clear, with an empty function) the remote cache tier.
+    /// Consulted on the owner path of a miss *after* the store consult and
+    /// *before* computing: local memory, then local disk, then the fabric,
+    /// then work — each tier strictly cheaper than the next.
+    void set_remote_fetch(RemoteFetch fetch);
+
+    /// Completed-entry probe for serving a peer's fetch: returns the value
+    /// when `key` is resident and ready, else consults the attached store
+    /// directly (nothing is admitted, no LRU refresh, no counters — a
+    /// peer's probe must not perturb this cache's own statistics or
+    /// retention).  Null on a genuine miss; never computes, never blocks
+    /// on an in-flight slot.
+    [[nodiscard]] std::shared_ptr<const EvaluationResult> peek(
+        const EvaluationKey& key) const;
 
     /// Drop every completed entry and reset all counters (hits, misses,
     /// evictions, store counters) to zero — documented behaviour, relied on
@@ -233,6 +263,10 @@ private:
     std::uint64_t store_misses_ = 0;
     std::uint64_t spills_ = 0;
     std::uint64_t store_rejects_ = 0;
+    std::uint64_t remote_hits_ = 0;
+    std::uint64_t remote_misses_ = 0;
+    /// Read under `mutex_`, invoked outside it (a fetch is a blocking RPC).
+    RemoteFetch remote_fetch_;
 };
 
 }  // namespace teamplay::core

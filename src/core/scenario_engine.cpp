@@ -21,6 +21,10 @@ struct TicketState {
     ScenarioRequest request;
     support::ThreadPool* pool = nullptr;
     ScenarioEngine::Completion on_complete;
+    /// External tickets only (transport clients): invoked by the first
+    /// `ScenarioTicket::cancel()` call, outside any lock.  Immutable after
+    /// construction.
+    std::function<void()> on_cancel;
 
     std::atomic<bool> cancel{false};
     std::atomic<bool> started{false};   ///< execution began on some thread
@@ -33,6 +37,73 @@ struct TicketState {
     ToolchainReport report;
     std::exception_ptr error;
 };
+
+}  // namespace detail
+
+namespace {
+
+/// Shared completion tail of engine-executed and external tickets: run the
+/// callback, publish under the rendezvous lock, release the waiters.
+void publish_ticket(detail::TicketState& state, ToolchainReport report,
+                    std::exception_ptr error, bool cancelled) {
+    if (state.on_complete) {
+        ScenarioOutcome outcome;
+        outcome.id = state.id;
+        outcome.label = state.request.label;
+        outcome.report = error ? nullptr : &report;
+        outcome.error = error;
+        outcome.cancelled = cancelled;
+        try {
+            state.on_complete(outcome);
+        } catch (...) {
+            if (!error) error = std::current_exception();
+        }
+    }
+
+    {
+        const std::lock_guard<std::mutex> lock(state.mutex);
+        state.report = std::move(report);
+        state.error = error;
+        state.cancelled = cancelled;
+        state.done = true;
+    }
+    state.finished.store(true, std::memory_order_release);
+    state.cv.notify_all();
+}
+
+}  // namespace
+
+namespace detail {
+
+std::shared_ptr<TicketState> make_external_ticket(
+    std::size_t id, ScenarioRequest request,
+    ScenarioEngine::Completion on_complete,
+    std::function<void()> on_cancel) {
+    auto state = std::make_shared<TicketState>();
+    state->id = id;
+    state->request = std::move(request);
+    state->on_complete = std::move(on_complete);
+    state->on_cancel = std::move(on_cancel);
+    // No pool and `started` pre-set: ScenarioTicket::wait must never try
+    // to help-drain work that runs in another process.
+    state->started.store(true, std::memory_order_release);
+    return state;
+}
+
+ScenarioTicket wrap_external_ticket(std::shared_ptr<TicketState> state) {
+    return ScenarioTicket(std::move(state));
+}
+
+void complete_external_ticket(TicketState& state, ToolchainReport report,
+                              std::exception_ptr error, bool cancelled) {
+    publish_ticket(state, std::move(report), error, cancelled);
+}
+
+const ScenarioRequest& ticket_request(const TicketState& state) {
+    return state.request;
+}
+
+std::size_t ticket_id(const TicketState& state) { return state.id; }
 
 }  // namespace detail
 
@@ -73,7 +144,9 @@ ToolchainReport ScenarioTicket::get() {
 }
 
 void ScenarioTicket::cancel() {
-    state_->cancel.store(true, std::memory_order_relaxed);
+    if (!state_->cancel.exchange(true, std::memory_order_relaxed) &&
+        state_->on_cancel)
+        state_->on_cancel();
 }
 
 bool ScenarioTicket::cancel_requested() const {
@@ -193,30 +266,7 @@ void ScenarioEngine::execute(detail::TicketState& state) {
     } catch (...) {
         error = std::current_exception();
     }
-
-    if (state.on_complete) {
-        ScenarioOutcome outcome;
-        outcome.id = state.id;
-        outcome.label = state.request.label;
-        outcome.report = error ? nullptr : &report;
-        outcome.error = error;
-        outcome.cancelled = cancelled;
-        try {
-            state.on_complete(outcome);
-        } catch (...) {
-            if (!error) error = std::current_exception();
-        }
-    }
-
-    {
-        const std::lock_guard<std::mutex> lock(state.mutex);
-        state.report = std::move(report);
-        state.error = error;
-        state.cancelled = cancelled;
-        state.done = true;
-    }
-    state.finished.store(true, std::memory_order_release);
-    state.cv.notify_all();
+    publish_ticket(state, std::move(report), error, cancelled);
 }
 
 ScenarioTicket ScenarioEngine::submit(ScenarioRequest request,

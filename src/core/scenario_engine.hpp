@@ -72,11 +72,23 @@ struct ScenarioRequest {
 
 /// Thrown out of a scenario whose ticket was cancelled; surfaces through
 /// `ScenarioTicket::get` and completion callbacks, never caches anything.
+///
+/// This is also the *retryable* error class of the service surface: the
+/// scenario did not fail, the attempt did — resubmitting the identical
+/// request is always safe and produces the same bytes.  Transport-level
+/// failures (net/remote_shard.hpp) derive from it through the protected
+/// constructor so `catch (const CancelledError&)` retry loops cover both.
 class CancelledError : public std::runtime_error {
 public:
     explicit CancelledError(const std::string& label)
         : std::runtime_error("scenario cancelled" +
                              (label.empty() ? "" : ": " + label)) {}
+
+protected:
+    /// Tag for subclasses that carry their own full message.
+    struct RawMessage {};
+    CancelledError(RawMessage, const std::string& message)
+        : std::runtime_error(message) {}
 };
 
 /// Aggregate throughput statistics of one `run_all` batch.
@@ -98,8 +110,15 @@ struct BatchStats {
     [[nodiscard]] std::string to_string() const;
 };
 
+class ScenarioTicket;
+
 namespace detail {
 struct TicketState;
+/// Wrap an external ticket state (make_external_ticket below) in the
+/// public handle type.  Lives in detail because only transport adaptors
+/// (net/remote_shard.hpp) mint tickets the engine did not issue.
+[[nodiscard]] ScenarioTicket wrap_external_ticket(
+    std::shared_ptr<TicketState> state);
 }  // namespace detail
 
 /// What a completion callback observes for one finished scenario.
@@ -143,6 +162,8 @@ public:
 
 private:
     friend class ScenarioEngine;
+    friend ScenarioTicket detail::wrap_external_ticket(
+        std::shared_ptr<detail::TicketState> state);
     explicit ScenarioTicket(std::shared_ptr<detail::TicketState> state)
         : state_(std::move(state)) {}
 
@@ -206,6 +227,20 @@ public:
     }
     void clear_cache() { cache_.clear(); }
 
+    /// Probe for a completed cache entry (falling back to the attached
+    /// result store) without computing, blocking or perturbing statistics.
+    /// This is what a ShardServer answers a fabric peer's fetch with.
+    [[nodiscard]] std::shared_ptr<const EvaluationResult> peek_cached(
+        const EvaluationKey& key) const {
+        return cache_.peek(key);
+    }
+
+    /// Install the remote cache tier: cache misses the store cannot serve
+    /// ask this hook (a fabric peer) before computing.
+    void set_remote_fetch(EvaluationCache::RemoteFetch fetch) {
+        cache_.set_remote_fetch(std::move(fetch));
+    }
+
     /// Spill every completed cache entry to the attached result store
     /// (no-op without one).  Runs automatically at destruction; call it
     /// explicitly before sampling store statistics mid-lifetime.
@@ -245,5 +280,32 @@ private:
     /// stages, cache and telemetry those tasks dereference are still alive.
     support::ThreadPool pool_;
 };
+
+namespace detail {
+
+// External tickets: the transport client (net/remote_shard.hpp) hands out
+// ScenarioTickets for scenarios that execute in *another process*.  The
+// state is created with `started` pre-set and no pool, so waiters block on
+// the rendezvous directly instead of trying to help-drain a pool that is
+// not there; the reader thread that receives the reply completes it.
+
+/// Mint the state for an external ticket.  `on_cancel` fires exactly once,
+/// on the first `ScenarioTicket::cancel()` call (a transport client sends
+/// the cancel RPC from it).
+[[nodiscard]] std::shared_ptr<TicketState> make_external_ticket(
+    std::size_t id, ScenarioRequest request,
+    ScenarioEngine::Completion on_complete,
+    std::function<void()> on_cancel);
+
+/// Publish the outcome of an external ticket: runs the completion
+/// callback, stores the report/error, and releases every waiter.  Must be
+/// called exactly once per ticket.
+void complete_external_ticket(TicketState& state, ToolchainReport report,
+                              std::exception_ptr error, bool cancelled);
+
+[[nodiscard]] const ScenarioRequest& ticket_request(const TicketState& state);
+[[nodiscard]] std::size_t ticket_id(const TicketState& state);
+
+}  // namespace detail
 
 }  // namespace teamplay::core

@@ -2,9 +2,11 @@
 
 #include <chrono>
 #include <optional>
+#include <stdexcept>
 
 #include "csl/csl.hpp"
 #include "ir/fingerprint.hpp"
+#include "net/remote_shard.hpp"
 #include "sim/trace.hpp"
 
 namespace teamplay::core {
@@ -37,10 +39,49 @@ std::uint64_t routing_fingerprint(const ir::Program* program,
     return fingerprint_program(*program);
 }
 
+net::RemoteShard::Options parse_endpoint(const std::string& endpoint) {
+    const auto colon = endpoint.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == endpoint.size())
+        throw std::invalid_argument(
+            "remote shard endpoint must be host:port, got \"" + endpoint +
+            "\"");
+    unsigned long port = 0;  // NOLINT(google-runtime-int)
+    try {
+        std::size_t consumed = 0;
+        port = std::stoul(endpoint.substr(colon + 1), &consumed);
+        if (consumed != endpoint.size() - colon - 1) port = 0;
+    } catch (const std::exception&) {
+        port = 0;
+    }
+    if (port == 0 || port > 65535)
+        throw std::invalid_argument(
+            "remote shard endpoint has an invalid port: \"" + endpoint +
+            "\"");
+    net::RemoteShard::Options options;
+    options.host = endpoint.substr(0, colon);
+    options.port = static_cast<std::uint16_t>(port);
+    return options;
+}
+
 }  // namespace
 
 ShardedScenarioEngine::ShardedScenarioEngine(Options options) {
-    const std::size_t shard_count = options.shards == 0 ? 1 : options.shards;
+    // Validate and build the remote clients first so a malformed endpoint
+    // throws before any engine (and its pool) is spun up.  shards == 0 is
+    // only normalised to 1 when there are no remotes: with remotes it
+    // means a pure front-end that routes everything across the wire.
+    remotes_.reserve(options.remote_endpoints.size());
+    for (const auto& endpoint : options.remote_endpoints)
+        remotes_.push_back(
+            std::make_unique<net::RemoteShard>(parse_endpoint(endpoint)));
+    fetch_peers_.reserve(options.fetch_peers.size());
+    for (const auto& endpoint : options.fetch_peers)
+        fetch_peers_.push_back(
+            std::make_unique<net::RemoteShard>(parse_endpoint(endpoint)));
+
+    const std::size_t shard_count =
+        options.shards == 0 && remotes_.empty() ? 1 : options.shards;
     // One trace cache for the whole service: materialise it before the
     // shards so every shard's engine receives the same instance.
     if (options.sim.backend == sim::SimBackend::kTrace &&
@@ -57,13 +98,33 @@ ShardedScenarioEngine::ShardedScenarioEngine(Options options) {
         shard_options.sim = options.sim;
         shards_.push_back(std::make_unique<ScenarioEngine>(shard_options));
     }
+
+    if (!fetch_peers_.empty()) {
+        // First hit wins; peers never throw (transport failures are
+        // swallowed into misses inside RemoteShard::fetch).  The raw
+        // pointers stay valid for the shards' whole lifetime — the peer
+        // vector is declared before the shards and destroyed after them.
+        std::vector<net::RemoteShard*> peers;
+        peers.reserve(fetch_peers_.size());
+        for (const auto& peer : fetch_peers_) peers.push_back(peer.get());
+        for (const auto& shard : shards_)
+            shard->set_remote_fetch(
+                [peers](const EvaluationKey& key)
+                    -> std::optional<EvaluationResult> {
+                    for (net::RemoteShard* peer : peers)
+                        if (auto result = peer->fetch(key)) return result;
+                    return std::nullopt;
+                });
+    }
 }
+
+ShardedScenarioEngine::~ShardedScenarioEngine() = default;
 
 std::size_t ShardedScenarioEngine::shard_of(
     const ScenarioRequest& request) const {
     // Nothing to route with one shard: skip the transient parse and the
     // fingerprint walk entirely (the CLI default).
-    if (shards_.size() == 1) return 0;
+    if (shard_count() == 1) return 0;
     // A malformed request is pinned to shard 0, which reports the error
     // through its ticket.
     if (request.program == nullptr) return 0;
@@ -85,14 +146,17 @@ std::size_t ShardedScenarioEngine::shard_of(
         }
     }
     return stir(routing_fingerprint(request.program, spec)) %
-           shards_.size();
+           shard_count();
 }
 
 ScenarioTicket ShardedScenarioEngine::submit(ScenarioRequest request,
                                              Completion on_complete) {
     const std::size_t shard = shard_of(request);
-    return shards_[shard]->submit(std::move(request),
-                                  std::move(on_complete));
+    if (shard < shards_.size())
+        return shards_[shard]->submit(std::move(request),
+                                      std::move(on_complete));
+    return remotes_[shard - shards_.size()]->submit(std::move(request),
+                                                    std::move(on_complete));
 }
 
 ToolchainReport ShardedScenarioEngine::run(const ScenarioRequest& request) {
@@ -102,10 +166,14 @@ ToolchainReport ShardedScenarioEngine::run(const ScenarioRequest& request) {
 std::vector<ToolchainReport> ShardedScenarioEngine::run_all(
     std::span<const ScenarioRequest> requests, BatchStats* stats) {
     std::vector<EvaluationCache::Stats> before;
+    std::vector<std::optional<BatchStats>> remote_before;
     if (stats != nullptr) {
         before.reserve(shards_.size());
         for (const auto& shard : shards_)
             before.push_back(shard->cache_stats());
+        remote_before.reserve(remotes_.size());
+        for (const auto& remote : remotes_)
+            remote_before.push_back(remote->stats());
     }
     const auto start = std::chrono::steady_clock::now();
 
@@ -135,9 +203,21 @@ std::vector<ToolchainReport> ShardedScenarioEngine::run_all(
                 : 0.0;
         // Per-shard counter deltas fold into one batch-wide view; entries/
         // resident_cost are end-of-batch gauges, summed across shards.
+        // Remote shards contribute the delta of two stats RPCs; a remote
+        // that was unreachable at either edge contributes nothing rather
+        // than a bogus delta.
         stats->cache = {};
         for (std::size_t i = 0; i < shards_.size(); ++i)
             stats->cache.merge(shards_[i]->cache_stats().since(before[i]));
+        for (std::size_t i = 0; i < remotes_.size(); ++i) {
+            if (!remote_before[i].has_value()) continue;
+            const auto after = remotes_[i]->stats();
+            if (after.has_value())
+                stats->cache.merge(
+                    after->cache.since(remote_before[i]->cache));
+        }
+        // Remote reports carry their server-side stage laps plus the
+        // client-side net/* hop laps, so one fold covers both sides.
         for (const auto& report : reports)
             stats->stage_telemetry.merge(report.stage_laps);
     }
@@ -148,6 +228,9 @@ std::vector<ToolchainReport> ShardedScenarioEngine::run_all(
 EvaluationCache::Stats ShardedScenarioEngine::cache_stats() const {
     EvaluationCache::Stats folded;
     for (const auto& shard : shards_) folded.merge(shard->cache_stats());
+    for (const auto& remote : remotes_)
+        if (const auto stats = remote->stats())
+            folded.merge(stats->cache);
     return folded;
 }
 
@@ -159,12 +242,22 @@ EvaluationCache::Stats ShardedScenarioEngine::shard_cache_stats(
 StageTelemetry ShardedScenarioEngine::stage_telemetry() const {
     StageTelemetry folded;
     for (const auto& shard : shards_) folded.merge(shard->stage_telemetry());
+    for (const auto& remote : remotes_) {
+        // Server-side pipeline stages and client-side transport hops are
+        // disjoint lap sets (net/* laps are only ever recorded on this
+        // side), so folding both never double-counts.
+        if (const auto stats = remote->stats())
+            folded.merge(stats->stage_telemetry);
+        folded.merge(remote->transport_telemetry());
+    }
     return folded;
 }
 
 std::size_t ShardedScenarioEngine::concurrency() const {
     std::size_t total = 0;
     for (const auto& shard : shards_) total += shard->concurrency();
+    for (const auto& remote : remotes_)
+        if (const auto stats = remote->stats()) total += stats->workers;
     return total;
 }
 

@@ -37,7 +37,13 @@
 #include <span>
 #include <vector>
 
+#include <string>
+
 #include "core/scenario_engine.hpp"
+
+namespace teamplay::net {
+class RemoteShard;
+}  // namespace teamplay::net
 
 namespace teamplay::core {
 
@@ -64,12 +70,29 @@ public:
         /// shard on purpose), compiled traces are immutable and
         /// model-keyed, so sharing them is pure win.
         sim::SimOptions sim;
+        /// Cross-host shards, "host:port" each (a ShardServer per entry).
+        /// They are appended *after* the local shards in the routing
+        /// domain, so the fingerprint router treats local and remote
+        /// uniformly and routing stays a pure function of the request.
+        /// `shards == 0` with remote endpoints set is a pure front-end:
+        /// every scenario crosses the wire.
+        std::vector<std::string> remote_endpoints;
+        /// Fabric peers whose caches are consulted (first hit wins) when a
+        /// local shard misses both its memory tier and the result store —
+        /// before recomputing.  A warm peer therefore turns a cold local
+        /// miss into a remote hit with zero recomputes.  Peers are *not*
+        /// routing targets; unreachable peers degrade to misses.
+        std::vector<std::string> fetch_peers;
     };
 
     using Completion = ScenarioEngine::Completion;
 
     ShardedScenarioEngine() : ShardedScenarioEngine(Options{}) {}
+    /// Throws std::invalid_argument for a malformed remote endpoint (the
+    /// required shape is "host:port"); remote connections themselves are
+    /// lazy, so an unreachable endpoint surfaces per-ticket, not here.
     explicit ShardedScenarioEngine(Options options);
+    ~ShardedScenarioEngine();
 
     ShardedScenarioEngine(const ShardedScenarioEngine&) = delete;
     ShardedScenarioEngine& operator=(const ShardedScenarioEngine&) = delete;
@@ -94,33 +117,57 @@ public:
         std::span<const ScenarioRequest> requests,
         BatchStats* stats = nullptr);
 
-    [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+    /// Size of the routing domain: local shards plus remote shards.
+    [[nodiscard]] std::size_t shard_count() const {
+        return shards_.size() + remotes_.size();
+    }
+    [[nodiscard]] std::size_t local_shard_count() const {
+        return shards_.size();
+    }
+    [[nodiscard]] std::size_t remote_shard_count() const {
+        return remotes_.size();
+    }
 
     /// The shard `request` routes to — a pure function of the request's
     /// program and task entries (exposed so benches and tests can attribute
-    /// per-shard behaviour).
+    /// per-shard behaviour).  Indices `>= local_shard_count()` name remote
+    /// shards in endpoint order.
     [[nodiscard]] std::size_t shard_of(const ScenarioRequest& request) const;
 
-    /// Fold of every shard's cache snapshot.
+    /// Fold of every shard's cache snapshot.  Remote shards contribute
+    /// their server-side counters via the stats RPC; an unreachable remote
+    /// contributes nothing.
     [[nodiscard]] EvaluationCache::Stats cache_stats() const;
+    /// Local shards only (remote engines own their per-shard breakdown).
     [[nodiscard]] EvaluationCache::Stats shard_cache_stats(
         std::size_t shard) const;
 
-    /// Fold of every shard's cumulative per-stage telemetry.
+    /// Fold of every shard's cumulative per-stage telemetry.  For remote
+    /// shards this folds the server-side stage laps (stats RPC) *and* the
+    /// client-side transport laps (net/encode, net/rtt, net/decode) — the
+    /// transport laps exist only on this side, so nothing double-counts.
     [[nodiscard]] StageTelemetry stage_telemetry() const;
 
-    /// Spill every shard's completed cache entries to the shared result
-    /// store (no-op without one); the store deduplicates, so entries two
-    /// shards both hold are written once.
+    /// Spill every *local* shard's completed cache entries to the shared
+    /// result store (no-op without one); the store deduplicates, so
+    /// entries two shards both hold are written once.  Remote shards flush
+    /// into their own stores on their side of the wire.
     void flush_result_store();
 
-    /// Threads that can execute work across all shards (per-shard workers
-    /// plus each shard's calling thread).
+    /// Threads that can execute work across all shards: local workers plus
+    /// each local shard's calling thread, plus every reachable remote's
+    /// advertised worker count.
     [[nodiscard]] std::size_t concurrency() const;
 
+    /// Local shards only; remote caches belong to their process.
     void clear_caches();
 
 private:
+    /// Remotes and fetch peers are declared before the local shards so the
+    /// shards are destroyed *first*: a draining local scenario may still
+    /// consult a fetch peer from its compute path.
+    std::vector<std::unique_ptr<net::RemoteShard>> remotes_;
+    std::vector<std::unique_ptr<net::RemoteShard>> fetch_peers_;
     std::vector<std::unique_ptr<ScenarioEngine>> shards_;
 };
 

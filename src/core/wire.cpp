@@ -15,6 +15,8 @@ enum class MessageKind : std::uint8_t {
     kResult = 2,
     kTelemetry = 3,
     kBatchStats = 4,
+    kRequest = 5,
+    kReport = 6,
 };
 
 /// Node trees are shallow in practice (builder nesting); the cap only
@@ -412,6 +414,8 @@ void put_cache_stats(Writer& writer, const EvaluationCache::Stats& stats) {
     writer.u64(stats.store_misses);
     writer.u64(stats.spills);
     writer.u64(stats.store_rejects);
+    writer.u64(stats.remote_hits);
+    writer.u64(stats.remote_misses);
     writer.u64(stats.entries);
     writer.f64(stats.resident_cost);
 }
@@ -425,6 +429,8 @@ EvaluationCache::Stats get_cache_stats(Reader& reader) {
     stats.store_misses = reader.u64();
     stats.spills = reader.u64();
     stats.store_rejects = reader.u64();
+    stats.remote_hits = reader.u64();
+    stats.remote_misses = reader.u64();
     stats.entries = reader.u64();
     stats.resident_cost = reader.f64();
     return stats;
@@ -452,6 +458,455 @@ StageTelemetry get_telemetry(Reader& reader) {
         telemetry.merge(name, stage);
     }
     return telemetry;
+}
+
+// -- platform -----------------------------------------------------------------
+
+void put_target_model(Writer& writer, const isa::TargetModel& model) {
+    writer.str(model.name);
+    writer.boolean(model.predictable);
+    writer.u32(static_cast<std::uint32_t>(model.cost.size()));
+    for (const auto& entry : model.cost) {
+        writer.f64(entry.cycles);
+        writer.f64(entry.energy_pj);
+    }
+    writer.f64(model.branch_cycles);
+    writer.f64(model.branch_energy_pj);
+    writer.f64(model.loop_iter_cycles);
+    writer.f64(model.loop_iter_energy_pj);
+    writer.f64(model.call_cycles);
+    writer.f64(model.call_energy_pj);
+    writer.f64(model.nominal_voltage);
+    writer.f64(model.data_alpha_pj_per_bit);
+    writer.f64(model.cache_miss_prob);
+    writer.f64(model.cache_miss_penalty);
+    writer.f64(model.timing_jitter_sigma);
+}
+
+isa::TargetModel get_target_model(Reader& reader) {
+    isa::TargetModel model;
+    model.name = reader.str();
+    model.predictable = reader.boolean();
+    // The cost table is fixed-size per codec generation; a different class
+    // count is a layout change, which is what the version field is for —
+    // here it can only mean corruption that survived the checksum window.
+    if (reader.u32() != model.cost.size())
+        throw WireFormatError("wire cost table size invalid");
+    for (auto& entry : model.cost) {
+        entry.cycles = reader.f64();
+        entry.energy_pj = reader.f64();
+    }
+    model.branch_cycles = reader.f64();
+    model.branch_energy_pj = reader.f64();
+    model.loop_iter_cycles = reader.f64();
+    model.loop_iter_energy_pj = reader.f64();
+    model.call_cycles = reader.f64();
+    model.call_energy_pj = reader.f64();
+    model.nominal_voltage = reader.f64();
+    model.data_alpha_pj_per_bit = reader.f64();
+    model.cache_miss_prob = reader.f64();
+    model.cache_miss_penalty = reader.f64();
+    model.timing_jitter_sigma = reader.f64();
+    return model;
+}
+
+void put_platform(Writer& writer, const platform::Platform& platform) {
+    writer.str(platform.name);
+    writer.f64(platform.base_power_w);
+    writer.u32(static_cast<std::uint32_t>(platform.cores.size()));
+    for (const auto& core : platform.cores) {
+        writer.str(core.name);
+        put_target_model(writer, core.model);
+        writer.u32(static_cast<std::uint32_t>(core.opps.size()));
+        for (const auto& opp : core.opps) {
+            writer.f64(opp.freq_hz);
+            writer.f64(opp.voltage);
+            writer.f64(opp.static_power_w);
+        }
+        writer.str(core.core_class);
+    }
+}
+
+platform::Platform get_platform(Reader& reader) {
+    platform::Platform platform;
+    platform.name = reader.str();
+    platform.base_power_w = reader.f64();
+    const std::uint32_t cores = reader.count(24);
+    platform.cores.reserve(cores);
+    for (std::uint32_t i = 0; i < cores; ++i) {
+        platform::Core core;
+        core.name = reader.str();
+        core.model = get_target_model(reader);
+        const std::uint32_t opps = reader.count(24);
+        core.opps.reserve(opps);
+        for (std::uint32_t j = 0; j < opps; ++j) {
+            platform::OperatingPoint opp;
+            opp.freq_hz = reader.f64();
+            opp.voltage = reader.f64();
+            opp.static_power_w = reader.f64();
+            core.opps.push_back(opp);
+        }
+        core.core_class = reader.str();
+        platform.cores.push_back(std::move(core));
+    }
+    return platform;
+}
+
+// -- CSL spec -----------------------------------------------------------------
+
+void put_app_spec(Writer& writer, const csl::AppSpec& spec) {
+    writer.str(spec.name);
+    writer.str(spec.platform);
+    writer.f64(spec.deadline_s);
+    writer.u32(static_cast<std::uint32_t>(spec.tasks.size()));
+    for (const auto& task : spec.tasks) {
+        writer.str(task.name);
+        writer.str(task.entry);
+        writer.f64(task.period_s);
+        writer.f64(task.deadline_s);
+        writer.f64(task.time_budget_s);
+        writer.f64(task.energy_budget_j);
+        writer.f64(task.leakage_budget);
+        writer.str(task.security_hint);
+        writer.str(task.core_class);
+        writer.u32(static_cast<std::uint32_t>(task.deps.size()));
+        for (const auto& dep : task.deps) writer.str(dep);
+    }
+}
+
+csl::AppSpec get_app_spec(Reader& reader) {
+    csl::AppSpec spec;
+    spec.name = reader.str();
+    spec.platform = reader.str();
+    spec.deadline_s = reader.f64();
+    const std::uint32_t tasks = reader.count(60);
+    spec.tasks.reserve(tasks);
+    for (std::uint32_t i = 0; i < tasks; ++i) {
+        csl::TaskSpec task;
+        task.name = reader.str();
+        task.entry = reader.str();
+        task.period_s = reader.f64();
+        task.deadline_s = reader.f64();
+        task.time_budget_s = reader.f64();
+        task.energy_budget_j = reader.f64();
+        task.leakage_budget = reader.f64();
+        task.security_hint = reader.str();
+        task.core_class = reader.str();
+        const std::uint32_t deps = reader.count(4);
+        task.deps.reserve(deps);
+        for (std::uint32_t j = 0; j < deps; ++j)
+            task.deps.push_back(reader.str());
+        spec.tasks.push_back(std::move(task));
+    }
+    return spec;
+}
+
+// -- workflow options ---------------------------------------------------------
+
+void put_options(Writer& writer, const WorkflowOptions& options) {
+    writer.u8(static_cast<std::uint8_t>(options.compiler.engine));
+    writer.i64(options.compiler.population);
+    writer.i64(options.compiler.iterations);
+    writer.u64(options.compiler.seed);
+    writer.boolean(options.compiler.explore_security);
+    writer.u64(options.compiler.max_versions);
+    writer.u8(static_cast<std::uint8_t>(options.scheduler.objective));
+    writer.f64(options.scheduler.deadline_s);
+    writer.boolean(options.scheduler.anneal);
+    writer.i64(options.scheduler.anneal_iterations);
+    writer.u64(options.scheduler.seed);
+    writer.i64(options.profile_runs);
+    writer.boolean(options.glue_style.has_value());
+    if (options.glue_style)
+        writer.u8(static_cast<std::uint8_t>(*options.glue_style));
+}
+
+WorkflowOptions get_options(Reader& reader) {
+    WorkflowOptions options;
+    const std::uint8_t engine = reader.u8();
+    if (engine > static_cast<std::uint8_t>(
+                     compiler::MultiCriteriaCompiler::Engine::kWeightedSum))
+        throw WireFormatError("wire compiler engine invalid");
+    options.compiler.engine =
+        static_cast<compiler::MultiCriteriaCompiler::Engine>(engine);
+    options.compiler.population = static_cast<int>(reader.i64());
+    options.compiler.iterations = static_cast<int>(reader.i64());
+    options.compiler.seed = reader.u64();
+    options.compiler.explore_security = reader.boolean();
+    options.compiler.max_versions = reader.u64();
+    const std::uint8_t objective = reader.u8();
+    if (objective > static_cast<std::uint8_t>(
+                        coordination::Scheduler::Objective::kEnergy))
+        throw WireFormatError("wire scheduler objective invalid");
+    options.scheduler.objective =
+        static_cast<coordination::Scheduler::Objective>(objective);
+    options.scheduler.deadline_s = reader.f64();
+    options.scheduler.anneal = reader.boolean();
+    options.scheduler.anneal_iterations = static_cast<int>(reader.i64());
+    options.scheduler.seed = reader.u64();
+    options.profile_runs = static_cast<int>(reader.i64());
+    if (reader.boolean()) {
+        const std::uint8_t style = reader.u8();
+        if (style > static_cast<std::uint8_t>(coordination::GlueStyle::kPosix))
+            throw WireFormatError("wire glue style invalid");
+        options.glue_style = static_cast<coordination::GlueStyle>(style);
+    }
+    return options;
+}
+
+// -- report payloads ----------------------------------------------------------
+
+void put_task_graph(Writer& writer, const coordination::TaskGraph& graph) {
+    writer.str(graph.app_name);
+    writer.u32(static_cast<std::uint32_t>(graph.tasks.size()));
+    for (const auto& task : graph.tasks) {
+        writer.str(task.name);
+        writer.str(task.entry_fn);
+        writer.u32(static_cast<std::uint32_t>(task.deps.size()));
+        for (const auto& dep : task.deps) writer.str(dep);
+        writer.f64(task.period_s);
+        writer.f64(task.deadline_s);
+        // std::map iteration: core-class order, canonical on both sides.
+        writer.u32(static_cast<std::uint32_t>(task.versions.size()));
+        for (const auto& [core_class, versions] : task.versions) {
+            writer.str(core_class);
+            writer.u32(static_cast<std::uint32_t>(versions.size()));
+            for (const auto& choice : versions) {
+                writer.f64(choice.time_s);
+                writer.f64(choice.energy_j);
+                writer.f64(choice.leakage);
+                writer.u64(choice.opp_index);
+                writer.str(choice.note);
+            }
+        }
+    }
+}
+
+coordination::TaskGraph get_task_graph(Reader& reader) {
+    coordination::TaskGraph graph;
+    graph.app_name = reader.str();
+    const std::uint32_t tasks = reader.count(32);
+    graph.tasks.reserve(tasks);
+    for (std::uint32_t i = 0; i < tasks; ++i) {
+        coordination::Task task;
+        task.name = reader.str();
+        task.entry_fn = reader.str();
+        const std::uint32_t deps = reader.count(4);
+        task.deps.reserve(deps);
+        for (std::uint32_t j = 0; j < deps; ++j)
+            task.deps.push_back(reader.str());
+        task.period_s = reader.f64();
+        task.deadline_s = reader.f64();
+        const std::uint32_t classes = reader.count(8);
+        std::string previous_class;
+        for (std::uint32_t j = 0; j < classes; ++j) {
+            std::string core_class = reader.str();
+            if (j > 0 && core_class <= previous_class)
+                throw WireFormatError(
+                    "wire version map not in canonical order");
+            previous_class = core_class;
+            const std::uint32_t versions = reader.count(36);
+            std::vector<coordination::VersionChoice> choices;
+            choices.reserve(versions);
+            for (std::uint32_t k = 0; k < versions; ++k) {
+                coordination::VersionChoice choice;
+                choice.time_s = reader.f64();
+                choice.energy_j = reader.f64();
+                choice.leakage = reader.f64();
+                choice.opp_index = reader.u64();
+                choice.note = reader.str();
+                choices.push_back(std::move(choice));
+            }
+            task.versions[std::move(core_class)] = std::move(choices);
+        }
+        graph.tasks.push_back(std::move(task));
+    }
+    return graph;
+}
+
+void put_schedule(Writer& writer, const coordination::Schedule& schedule) {
+    writer.u32(static_cast<std::uint32_t>(schedule.entries.size()));
+    for (const auto& entry : schedule.entries) {
+        writer.str(entry.task);
+        writer.u64(entry.core);
+        writer.u64(entry.version);
+        writer.str(entry.core_class);
+        writer.f64(entry.start_s);
+        writer.f64(entry.finish_s);
+        writer.f64(entry.dynamic_energy_j);
+        writer.u64(entry.opp_index);
+    }
+    writer.f64(schedule.makespan_s);
+    writer.boolean(schedule.feasible);
+}
+
+coordination::Schedule get_schedule(Reader& reader) {
+    coordination::Schedule schedule;
+    const std::uint32_t entries = reader.count(64);
+    schedule.entries.reserve(entries);
+    for (std::uint32_t i = 0; i < entries; ++i) {
+        coordination::ScheduleEntry entry;
+        entry.task = reader.str();
+        entry.core = reader.u64();
+        entry.version = reader.u64();
+        entry.core_class = reader.str();
+        entry.start_s = reader.f64();
+        entry.finish_s = reader.f64();
+        entry.dynamic_energy_j = reader.f64();
+        entry.opp_index = reader.u64();
+        schedule.entries.push_back(std::move(entry));
+    }
+    schedule.makespan_s = reader.f64();
+    schedule.feasible = reader.boolean();
+    return schedule;
+}
+
+void put_proof_node(Writer& writer, const contracts::ProofNode& node) {
+    writer.u8(static_cast<std::uint8_t>(node.rule));
+    writer.f64(node.value);
+    writer.f64(node.param);
+    writer.str(node.note);
+    writer.u32(static_cast<std::uint32_t>(node.children.size()));
+    for (const auto& child : node.children) put_proof_node(writer, child);
+}
+
+contracts::ProofNode get_proof_node(Reader& reader, int depth) {
+    if (depth > kMaxNodeDepth)
+        throw WireFormatError("wire proof tree nested too deeply");
+    contracts::ProofNode node;
+    const std::uint8_t rule = reader.u8();
+    if (rule > static_cast<std::uint8_t>(contracts::ProofRule::kStaticLeak))
+        throw WireFormatError("wire proof rule invalid");
+    node.rule = static_cast<contracts::ProofRule>(rule);
+    node.value = reader.f64();
+    node.param = reader.f64();
+    node.note = reader.str();
+    const std::uint32_t children = reader.count(25);
+    node.children.reserve(children);
+    for (std::uint32_t i = 0; i < children; ++i)
+        node.children.push_back(get_proof_node(reader, depth + 1));
+    return node;
+}
+
+void put_certificate(Writer& writer,
+                     const contracts::Certificate& certificate) {
+    writer.str(certificate.app);
+    writer.str(certificate.platform);
+    writer.u32(static_cast<std::uint32_t>(certificate.results.size()));
+    for (const auto& result : certificate.results) {
+        writer.str(result.poi);
+        writer.u8(static_cast<std::uint8_t>(result.property));
+        writer.f64(result.budget);
+        writer.f64(result.analysed);
+        writer.boolean(result.holds);
+        writer.boolean(result.measured_only);
+        put_proof_node(writer, result.proof);
+    }
+}
+
+contracts::Certificate get_certificate(Reader& reader) {
+    contracts::Certificate certificate;
+    certificate.app = reader.str();
+    certificate.platform = reader.str();
+    const std::uint32_t results = reader.count(48);
+    certificate.results.reserve(results);
+    for (std::uint32_t i = 0; i < results; ++i) {
+        contracts::ContractResult result;
+        result.poi = reader.str();
+        const std::uint8_t property = reader.u8();
+        if (property >
+            static_cast<std::uint8_t>(contracts::Property::kSecurity))
+            throw WireFormatError("wire contract property invalid");
+        result.property = static_cast<contracts::Property>(property);
+        result.budget = reader.f64();
+        result.analysed = reader.f64();
+        result.holds = reader.boolean();
+        result.measured_only = reader.boolean();
+        result.proof = get_proof_node(reader, 0);
+        certificate.results.push_back(std::move(result));
+    }
+    return certificate;
+}
+
+void put_report(Writer& writer, const ToolchainReport& report) {
+    put_app_spec(writer, report.spec);
+    writer.str(report.platform_name);
+    put_task_graph(writer, report.graph);
+    put_schedule(writer, report.schedule);
+    put_certificate(writer, report.certificate);
+    writer.str(report.glue_code);
+    writer.str(report.sequential_glue);
+    writer.u32(static_cast<std::uint32_t>(report.fronts.size()));
+    for (const auto& front : report.fronts) {
+        writer.str(front.task);
+        writer.str(front.core_class);
+        writer.u32(static_cast<std::uint32_t>(front.versions.size()));
+        for (const auto& version : front.versions)
+            put_task_version(writer, version);
+    }
+    // std::map iteration: ascending core index, canonical on both sides.
+    writer.u32(static_cast<std::uint32_t>(report.rta.size()));
+    for (const auto& [core, rta] : report.rta) {
+        writer.u64(core);
+        writer.boolean(rta.schedulable);
+        writer.u32(static_cast<std::uint32_t>(rta.response_times.size()));
+        for (const double response : rta.response_times)
+            writer.f64(response);
+    }
+    writer.u32(static_cast<std::uint32_t>(report.stage_laps.size()));
+    for (const auto& lap : report.stage_laps) {
+        writer.str(lap.stage);
+        writer.f64(lap.seconds);
+    }
+}
+
+ToolchainReport get_report(Reader& reader) {
+    ToolchainReport report;
+    report.spec = get_app_spec(reader);
+    report.platform_name = reader.str();
+    report.graph = get_task_graph(reader);
+    report.schedule = get_schedule(reader);
+    report.certificate = get_certificate(reader);
+    report.glue_code = reader.str();
+    report.sequential_glue = reader.str();
+    const std::uint32_t fronts = reader.count(12);
+    report.fronts.reserve(fronts);
+    for (std::uint32_t i = 0; i < fronts; ++i) {
+        TaskFront front;
+        front.task = reader.str();
+        front.core_class = reader.str();
+        const std::uint32_t versions = reader.count(16);
+        front.versions.reserve(versions);
+        for (std::uint32_t j = 0; j < versions; ++j)
+            front.versions.push_back(get_task_version(reader));
+        report.fronts.push_back(std::move(front));
+    }
+    const std::uint32_t rta_entries = reader.count(13);
+    bool have_previous_core = false;
+    std::size_t previous_core = 0;
+    for (std::uint32_t i = 0; i < rta_entries; ++i) {
+        const std::size_t core = reader.u64();
+        if (have_previous_core && core <= previous_core)
+            throw WireFormatError("wire rta map not in canonical order");
+        have_previous_core = true;
+        previous_core = core;
+        coordination::RtaResult rta;
+        rta.schedulable = reader.boolean();
+        const std::uint32_t responses = reader.count(8);
+        rta.response_times.reserve(responses);
+        for (std::uint32_t j = 0; j < responses; ++j)
+            rta.response_times.push_back(reader.f64());
+        report.rta[core] = std::move(rta);
+    }
+    const std::uint32_t laps = reader.count(12);
+    report.stage_laps.reserve(laps);
+    for (std::uint32_t i = 0; i < laps; ++i) {
+        StageLap lap;
+        lap.stage = reader.str();
+        lap.seconds = reader.f64();
+        report.stage_laps.push_back(std::move(lap));
+    }
+    return report;
 }
 
 }  // namespace
@@ -552,6 +1007,59 @@ BatchStats decode_batch_stats(std::span<const std::uint8_t> buffer) {
     stats.stage_telemetry = get_telemetry(reader);
     expect_fully_consumed(reader);
     return stats;
+}
+
+ScenarioRequest ScenarioRequestFrame::request() const {
+    ScenarioRequest request;
+    request.program = &program;
+    request.platform = &platform;
+    request.csl_source = csl_source;
+    request.spec = spec;
+    request.options = options;
+    request.label = label;
+    return request;
+}
+
+Buffer encode(const ScenarioRequest& request) {
+    if (request.program == nullptr || request.platform == nullptr)
+        throw std::invalid_argument(
+            "wire: cannot encode a ScenarioRequest without a program and "
+            "platform");
+    Writer writer = begin_message(MessageKind::kRequest);
+    put_program(writer, *request.program);
+    put_platform(writer, *request.platform);
+    writer.str(request.csl_source);
+    writer.boolean(request.spec.has_value());
+    if (request.spec) put_app_spec(writer, *request.spec);
+    put_options(writer, request.options);
+    writer.str(request.label);
+    return seal_message(std::move(writer));
+}
+
+ScenarioRequestFrame decode_request(std::span<const std::uint8_t> buffer) {
+    Reader reader = open_message(buffer, MessageKind::kRequest);
+    ScenarioRequestFrame frame;
+    frame.program = get_program(reader);
+    frame.platform = get_platform(reader);
+    frame.csl_source = reader.str();
+    if (reader.boolean()) frame.spec = get_app_spec(reader);
+    frame.options = get_options(reader);
+    frame.label = reader.str();
+    expect_fully_consumed(reader);
+    return frame;
+}
+
+Buffer encode(const ToolchainReport& report) {
+    Writer writer = begin_message(MessageKind::kReport);
+    put_report(writer, report);
+    return seal_message(std::move(writer));
+}
+
+ToolchainReport decode_report(std::span<const std::uint8_t> buffer) {
+    Reader reader = open_message(buffer, MessageKind::kReport);
+    ToolchainReport report = get_report(reader);
+    expect_fully_consumed(reader);
+    return report;
 }
 
 // -- frame streams ------------------------------------------------------------

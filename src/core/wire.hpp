@@ -2,10 +2,13 @@
 //
 // The distributed follow-on to in-process sharding (DESIGN.md §8) moves
 // memoised evaluation results and merged telemetry between hosts; this
-// codec defines the byte format those messages travel in.  Four message
+// codec defines the byte format those messages travel in.  Six message
 // types are covered — `EvaluationKey`, `EvaluationResult` (including full
-// IR programs inside compiled task versions), `StageTelemetry` and
-// `BatchStats` — with strict round-trip guarantees:
+// IR programs inside compiled task versions), `StageTelemetry`,
+// `BatchStats`, `ScenarioRequest` (program + platform + CSL + options,
+// everything a remote shard needs to run the scenario) and
+// `ToolchainReport` (the full reply, certificate included) — with strict
+// round-trip guarantees:
 //
 //   decode(encode(x)) == x   field-for-field (doubles bit-exact),
 //   encode(decode(b)) == b   byte-for-byte for any accepted buffer.
@@ -42,7 +45,11 @@ namespace teamplay::core::wire {
 /// Current wire format generation.  Bump on any layout change.
 /// v2: EvaluationCache::Stats gained the result-store counters
 /// (store_hits/store_misses/spills/store_rejects) inside BatchStats.
-inline constexpr std::uint16_t kVersion = 2;
+/// v3: shard-fabric frames — ScenarioRequest and ToolchainReport become
+/// wire messages (program + platform + CSL + options travel whole), and
+/// EvaluationCache::Stats gained the remote-fetch counters
+/// (remote_hits/remote_misses) inside BatchStats.
+inline constexpr std::uint16_t kVersion = 3;
 
 /// Base class of every codec error.
 class WireError : public std::runtime_error {
@@ -72,10 +79,31 @@ private:
 
 using Buffer = std::vector<std::uint8_t>;
 
+/// A decoded ScenarioRequest with its own storage.  `ScenarioRequest`
+/// borrows its program and platform by pointer, so a request coming off
+/// the wire needs something to own them: the frame owns everything the
+/// request references, and `request()` returns a view into it.  The frame
+/// must outlive every use of that view (a server keeps the frame alive
+/// until the scenario's ticket completes).
+struct ScenarioRequestFrame {
+    ir::Program program;
+    platform::Platform platform;
+    std::string csl_source;
+    std::optional<csl::AppSpec> spec;
+    WorkflowOptions options;
+    std::string label;
+
+    [[nodiscard]] ScenarioRequest request() const;
+};
+
 [[nodiscard]] Buffer encode(const EvaluationKey& key);
 [[nodiscard]] Buffer encode(const EvaluationResult& result);
 [[nodiscard]] Buffer encode(const StageTelemetry& telemetry);
 [[nodiscard]] Buffer encode(const BatchStats& stats);
+/// Throws std::invalid_argument when the request has a null program or
+/// platform — an unroutable request must fail at the sender, loudly.
+[[nodiscard]] Buffer encode(const ScenarioRequest& request);
+[[nodiscard]] Buffer encode(const ToolchainReport& report);
 
 [[nodiscard]] EvaluationKey decode_key(std::span<const std::uint8_t> buffer);
 [[nodiscard]] EvaluationResult decode_result(
@@ -83,6 +111,10 @@ using Buffer = std::vector<std::uint8_t>;
 [[nodiscard]] StageTelemetry decode_telemetry(
     std::span<const std::uint8_t> buffer);
 [[nodiscard]] BatchStats decode_batch_stats(
+    std::span<const std::uint8_t> buffer);
+[[nodiscard]] ScenarioRequestFrame decode_request(
+    std::span<const std::uint8_t> buffer);
+[[nodiscard]] ToolchainReport decode_report(
     std::span<const std::uint8_t> buffer);
 
 // -- frame streams ------------------------------------------------------------

@@ -1,0 +1,32 @@
+#include "net/protocol.hpp"
+
+namespace teamplay::net {
+
+core::wire::Buffer encode_envelope(const Envelope& envelope) {
+    core::wire::Buffer out;
+    out.reserve(9 + envelope.payload.size());
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(static_cast<std::uint8_t>(envelope.id >> shift));
+    out.push_back(static_cast<std::uint8_t>(envelope.type));
+    out.insert(out.end(), envelope.payload.begin(), envelope.payload.end());
+    return out;
+}
+
+Envelope decode_envelope(std::span<const std::uint8_t> frame) {
+    if (frame.size() < 9)
+        throw core::wire::WireFormatError("envelope shorter than header");
+    Envelope envelope;
+    for (int byte = 0; byte < 8; ++byte)
+        envelope.id |= static_cast<std::uint64_t>(frame[
+                           static_cast<std::size_t>(byte)])
+                       << (8 * byte);
+    const std::uint8_t type = frame[8];
+    if (type < static_cast<std::uint8_t>(MsgType::kSubmit) ||
+        type > static_cast<std::uint8_t>(MsgType::kReplyStats))
+        throw core::wire::WireFormatError("envelope type invalid");
+    envelope.type = static_cast<MsgType>(type);
+    envelope.payload.assign(frame.begin() + 9, frame.end());
+    return envelope;
+}
+
+}  // namespace teamplay::net

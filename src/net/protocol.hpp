@@ -1,0 +1,56 @@
+// Shard-fabric RPC protocol: envelopes over length-prefixed frames.
+//
+// Every frame on a fabric connection is one Envelope: a u64 correlation id
+// (chosen by the client, echoed by the server), a message-type byte, and a
+// payload.  Payloads of the structured messages are sealed core::wire
+// buffers — checksummed and strictly decoded on arrival — so a corrupted
+// payload is detected inside the frame and answered with kReplyError
+// rather than poisoning the connection.  Error/cancel reply payloads are
+// plain UTF-8 text (the exception message).
+//
+//   client -> server                server -> client
+//   kSubmit  wire::ScenarioRequest  kReplyReport     wire::ToolchainReport
+//                                   kReplyCancelled  text
+//                                   kReplyError      text
+//   kFetch   wire::EvaluationKey    kReplyResult     wire::EvaluationResult
+//                                   kReplyMiss       (empty)
+//   kCancel  (empty; id names the   (no direct reply; the submit's own
+//             in-flight submit)      reply becomes kReplyCancelled)
+//   kStats   (empty)                kReplyStats      wire::BatchStats
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/wire.hpp"
+
+namespace teamplay::net {
+
+enum class MsgType : std::uint8_t {
+    kSubmit = 1,
+    kFetch = 2,
+    kCancel = 3,
+    kStats = 4,
+    kReplyReport = 5,
+    kReplyResult = 6,
+    kReplyMiss = 7,
+    kReplyError = 8,
+    kReplyCancelled = 9,
+    kReplyStats = 10,
+};
+
+struct Envelope {
+    std::uint64_t id = 0;
+    MsgType type = MsgType::kSubmit;
+    core::wire::Buffer payload;
+};
+
+/// Serialise: u64 id LE, u8 type, payload bytes.
+[[nodiscard]] core::wire::Buffer encode_envelope(const Envelope& envelope);
+
+/// Parse an envelope; throws core::wire::WireFormatError on a frame
+/// shorter than the header or an unknown type byte.  The payload is not
+/// interpreted here — its own codec validates it.
+[[nodiscard]] Envelope decode_envelope(std::span<const std::uint8_t> frame);
+
+}  // namespace teamplay::net

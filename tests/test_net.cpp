@@ -1,0 +1,320 @@
+// Shard fabric transport (net/): loopback round-trips are byte-identical
+// to in-process runs, transport faults (mid-frame disconnect, server
+// restart, poisoned frames) surface as the retryable cancellation class
+// and never poison the server, cancels propagate across the wire, and a
+// warm fabric peer serves a cold engine's misses with zero recomputes.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/scenario_engine.hpp"
+#include "core/sharded_engine.hpp"
+#include "net/protocol.hpp"
+#include "net/remote_shard.hpp"
+#include "net/shard_server.hpp"
+#include "usecases/apps.hpp"
+
+namespace {
+
+using namespace teamplay;
+
+const usecases::UseCaseApp& pill_app() {
+    static const usecases::UseCaseApp app =
+        usecases::make_camera_pill_app();
+    return app;
+}
+
+/// A light scenario (small search, few profile runs) so each wire round
+/// trip stays in the tens of milliseconds.
+core::ScenarioRequest light_request(const std::string& label = "pill#net") {
+    const auto& app = pill_app();
+    core::ScenarioRequest request;
+    request.program = &app.program;
+    request.platform = &app.platform;
+    request.csl_source = app.csl_source;
+    request.options.compiler.population = 4;
+    request.options.compiler.iterations = 4;
+    request.options.compiler.seed = 5;
+    request.options.scheduler.seed = 5;
+    request.options.scheduler.anneal_iterations = 50;
+    request.options.profile_runs = 4;
+    request.label = label;
+    return request;
+}
+
+std::unique_ptr<net::ShardServer> make_server(std::uint16_t port = 0) {
+    net::ShardServer::Options options;
+    options.port = port;
+    options.engine.worker_threads = 2;
+    return std::make_unique<net::ShardServer>(std::move(options));
+}
+
+net::RemoteShard::Options client_options(std::uint16_t port) {
+    net::RemoteShard::Options options;
+    options.host = "127.0.0.1";
+    options.port = port;
+    return options;
+}
+
+TEST(Net, EnvelopeRoundTripAndRejects) {
+    net::Envelope envelope;
+    envelope.id = 0x1122334455667788ULL;
+    envelope.type = net::MsgType::kReplyReport;
+    envelope.payload = {1, 2, 3, 4, 5};
+    const auto bytes = net::encode_envelope(envelope);
+    const auto decoded = net::decode_envelope(bytes);
+    EXPECT_EQ(decoded.id, envelope.id);
+    EXPECT_EQ(decoded.type, envelope.type);
+    EXPECT_EQ(decoded.payload, envelope.payload);
+
+    EXPECT_THROW((void)net::decode_envelope(
+                     std::span<const std::uint8_t>(bytes.data(), 8)),
+                 core::wire::WireFormatError);
+    auto bad_type = bytes;
+    bad_type[8] = 0xEE;
+    EXPECT_THROW((void)net::decode_envelope(bad_type),
+                 core::wire::WireFormatError);
+}
+
+TEST(Net, LoopbackReportIsByteIdenticalToInProcess) {
+    const auto server = make_server();
+    net::RemoteShard remote(client_options(server->port()));
+
+    auto report = remote.submit(light_request()).get();
+
+    core::ScenarioEngine local;
+    auto expected = local.submit(light_request()).get();
+
+    EXPECT_EQ(report.certificate.to_text(),
+              expected.certificate.to_text());
+    EXPECT_EQ(report.glue_code, expected.glue_code);
+    EXPECT_EQ(report.schedule.makespan_s, expected.schedule.makespan_s);
+
+    // The remote report additionally carries the three per-hop transport
+    // laps.  Lap *durations* are wall-clock and differ run to run, so the
+    // byte-identity check compares the reports with laps cleared.
+    ASSERT_GE(report.stage_laps.size(), 3U);
+    EXPECT_EQ(report.stage_laps[report.stage_laps.size() - 3].stage,
+              "net/encode");
+    EXPECT_EQ(report.stage_laps[report.stage_laps.size() - 2].stage,
+              "net/rtt");
+    EXPECT_EQ(report.stage_laps[report.stage_laps.size() - 1].stage,
+              "net/decode");
+    report.stage_laps.clear();
+    expected.stage_laps.clear();
+    EXPECT_EQ(core::wire::encode(report), core::wire::encode(expected));
+
+    const auto telemetry = remote.transport_telemetry();
+    EXPECT_EQ(telemetry.stages().at("net/rtt").count, 1U);
+}
+
+TEST(Net, CompletionCallbackFiresOnReaderThread) {
+    const auto server = make_server();
+    net::RemoteShard remote(client_options(server->port()));
+    std::promise<std::string> label;
+    auto future = label.get_future();
+    auto ticket = remote.submit(
+        light_request("pill#callback"),
+        [&label](const core::ScenarioOutcome& outcome) {
+            label.set_value(outcome.label);
+        });
+    EXPECT_EQ(future.get(), "pill#callback");
+    ticket.wait();
+}
+
+TEST(Net, ServerGoneMidScenarioFailsTicketRetryably) {
+    auto server = make_server();
+    const auto port = server->port();
+    net::RemoteShard remote(client_options(port));
+
+    // Tear the server down while the scenario is in flight: its reply
+    // socket is shut before the engine drains, so the client sees the
+    // connection die mid-exchange.
+    auto ticket = remote.submit(light_request());
+    server.reset();
+
+    bool retryable = false;
+    std::string message;
+    try {
+        (void)ticket.get();
+        // Timing may let the reply win the race with the shutdown; that
+        // is not a failure of the fault path, just a fast server.
+        retryable = true;
+    } catch (const core::CancelledError& e) {
+        retryable = true;  // the documented retryable class
+        message = e.what();
+    } catch (const std::exception& e) {
+        message = e.what();
+    }
+    EXPECT_TRUE(retryable) << message;
+
+    // Retry after restart on the same port: reconnect (with backoff) and
+    // the replayed scenario is byte-identical to an in-process run.
+    server = make_server(port);
+    const auto report = remote.submit(light_request()).get();
+    core::ScenarioEngine local;
+    EXPECT_EQ(report.certificate.to_text(),
+              local.submit(light_request()).get().certificate.to_text());
+}
+
+TEST(Net, ServerRestartBetweenRequestsReconnects) {
+    auto server = make_server();
+    const auto port = server->port();
+    net::RemoteShard remote(client_options(port));
+    const auto first = remote.submit(light_request()).get();
+
+    server.reset();
+    server = make_server(port);
+
+    // The old connection is dead; the next submit reconnects (directly or
+    // via the one-resend path) and must produce the same certificate.
+    const auto second = remote.submit(light_request()).get();
+    EXPECT_EQ(second.certificate.to_text(), first.certificate.to_text());
+}
+
+TEST(Net, UnreachableEndpointFailsTicketAfterBackoff) {
+    net::RemoteShard::Options options;
+    options.host = "127.0.0.1";
+    options.port = 1;  // reserved port: nothing listens there
+    options.connect_attempts = 2;
+    options.initial_backoff_s = 0.001;
+    options.max_backoff_s = 0.002;
+    net::RemoteShard remote(options);
+    auto ticket = remote.submit(light_request());
+    EXPECT_THROW((void)ticket.get(), core::CancelledError);
+    EXPECT_FALSE(remote.fetch(core::EvaluationKey{}).has_value());
+    EXPECT_FALSE(remote.stats().has_value());
+}
+
+TEST(Net, MidFrameDisconnectDoesNotPoisonServer) {
+    const auto server = make_server();
+    {
+        // A peer that promises a 100-byte frame, sends 10, and vanishes.
+        auto torn = net::Socket::connect_to("127.0.0.1", server->port());
+        const std::uint8_t prefix[4] = {100, 0, 0, 0};
+        torn.send_all(prefix, 4);
+        const std::uint8_t partial[10] = {};
+        torn.send_all(partial, 10);
+    }
+    // The server dropped that connection and keeps serving new ones.
+    net::RemoteShard remote(client_options(server->port()));
+    EXPECT_TRUE(remote.stats().has_value());
+}
+
+TEST(Net, PoisonedPayloadGetsErrorReplyAndConnectionSurvives) {
+    const auto server = make_server();
+    auto socket = net::Socket::connect_to("127.0.0.1", server->port());
+
+    // A structurally valid envelope whose payload fails strict wire
+    // decoding: answered with kReplyError, connection stays up.
+    net::Envelope poisoned;
+    poisoned.id = 7;
+    poisoned.type = net::MsgType::kSubmit;
+    poisoned.payload = {0xDE, 0xAD, 0xBE, 0xEF};
+    net::send_frame(socket, net::encode_envelope(poisoned));
+    auto reply_frame = net::recv_frame(socket);
+    ASSERT_TRUE(reply_frame.has_value());
+    auto reply = net::decode_envelope(*reply_frame);
+    EXPECT_EQ(reply.id, 7U);
+    EXPECT_EQ(reply.type, net::MsgType::kReplyError);
+
+    // Same socket, valid request: still served.
+    net::Envelope stats;
+    stats.id = 8;
+    stats.type = net::MsgType::kStats;
+    net::send_frame(socket, net::encode_envelope(stats));
+    reply_frame = net::recv_frame(socket);
+    ASSERT_TRUE(reply_frame.has_value());
+    reply = net::decode_envelope(*reply_frame);
+    EXPECT_EQ(reply.id, 8U);
+    EXPECT_EQ(reply.type, net::MsgType::kReplyStats);
+    EXPECT_NO_THROW((void)core::wire::decode_batch_stats(reply.payload));
+}
+
+TEST(Net, CancelPropagatesAcrossTheWire) {
+    const auto server = make_server();
+    net::RemoteShard remote(client_options(server->port()));
+
+    // Saturate both server workers so the victim stays queued long enough
+    // for the cancel frame to arrive before it starts.
+    auto busy_a = remote.submit(light_request("pill#busy_a"));
+    auto busy_b = remote.submit(light_request("pill#busy_b"));
+    auto victim_request = light_request("pill#victim");
+    victim_request.options.compiler.seed = 99;  // distinct cache keys
+    victim_request.options.scheduler.seed = 99;
+    auto victim = remote.submit(victim_request);
+    victim.cancel();
+
+    bool cancelled = false;
+    try {
+        (void)victim.get();
+    } catch (const core::CancelledError&) {
+        cancelled = true;
+    }
+    // The cancel can lose the race if a worker freed up first; the
+    // invariant is that it never errors any other way and the rest of the
+    // batch is untouched.
+    EXPECT_NO_THROW((void)busy_a.get());
+    EXPECT_NO_THROW((void)busy_b.get());
+    if (!cancelled) GTEST_SKIP() << "victim completed before the cancel";
+}
+
+TEST(Net, WarmPeerServesMissesWithZeroRecomputes) {
+    const auto server = make_server();
+    net::RemoteShard peer(client_options(server->port()));
+    (void)peer.submit(light_request()).get();  // warm the peer's cache
+
+    core::ScenarioEngine local;
+    local.set_remote_fetch(
+        [&peer](const core::EvaluationKey& key) { return peer.fetch(key); });
+    const auto report = local.submit(light_request()).get();
+
+    const auto stats = local.cache_stats();
+    EXPECT_GT(stats.remote_hits, 0U);
+    EXPECT_EQ(stats.remote_misses, 0U);
+
+    core::ScenarioEngine reference;
+    EXPECT_EQ(
+        report.certificate.to_text(),
+        reference.submit(light_request()).get().certificate.to_text());
+}
+
+TEST(Net, ShardedEngineRoutesOverTheFabric) {
+    const auto server_a = make_server();
+    const auto server_b = make_server();
+    core::ShardedScenarioEngine::Options options;
+    options.shards = 1;
+    options.worker_threads = 2;
+    options.remote_endpoints = {
+        "127.0.0.1:" + std::to_string(server_a->port()),
+        "127.0.0.1:" + std::to_string(server_b->port()),
+    };
+    core::ShardedScenarioEngine engine(std::move(options));
+    EXPECT_EQ(engine.shard_count(), 3U);
+    EXPECT_EQ(engine.local_shard_count(), 1U);
+    EXPECT_EQ(engine.remote_shard_count(), 2U);
+
+    const auto report = engine.run(light_request());
+    core::ScenarioEngine reference;
+    EXPECT_EQ(
+        report.certificate.to_text(),
+        reference.submit(light_request()).get().certificate.to_text());
+}
+
+TEST(Net, MalformedEndpointsAreRejected) {
+    for (const std::string endpoint :
+         {"nocolon", ":7791", "host:", "host:0", "host:99999",
+          "host:7x91"}) {
+        core::ShardedScenarioEngine::Options options;
+        options.remote_endpoints = {endpoint};
+        EXPECT_THROW(core::ShardedScenarioEngine{std::move(options)},
+                     std::invalid_argument)
+            << endpoint;
+    }
+}
+
+}  // namespace

@@ -1,8 +1,9 @@
-// Wire codec (core/wire.hpp): exhaustive field round-trips for all four
-// message types (including full IR programs inside compiled task
-// versions), property-style randomised keys/telemetry with a seeded RNG,
-// strict rejection of truncated/corrupted/trailing-garbage buffers, and
-// the version-mismatch error path.
+// Wire codec (core/wire.hpp): exhaustive field round-trips for all six
+// message types (including full IR programs inside compiled task versions
+// and whole ScenarioRequest/ToolchainReport frames), property-style
+// randomised keys/telemetry with a seeded RNG, strict rejection of
+// truncated/corrupted/trailing-garbage buffers, and the version-mismatch
+// error path.
 #include <gtest/gtest.h>
 
 #include <random>
@@ -10,6 +11,9 @@
 #include <vector>
 
 #include "compiler/multi_criteria.hpp"
+#include "coordination/glue.hpp"
+#include "coordination/scheduler.hpp"
+#include "core/scenario_engine.hpp"
 #include "core/wire.hpp"
 #include "ir/builder.hpp"
 #include "ir/printer.hpp"
@@ -214,6 +218,8 @@ TEST(Wire, BatchStatsRoundTrip) {
     stats.cache.store_misses = 19;
     stats.cache.spills = 9;
     stats.cache.store_rejects = 2;
+    stats.cache.remote_hits = 14;
+    stats.cache.remote_misses = 3;
     stats.cache.entries = 33;
     stats.cache.resident_cost = 112.5;
     stats.stage_telemetry.record("schedule", 0.125);
@@ -231,6 +237,8 @@ TEST(Wire, BatchStatsRoundTrip) {
     EXPECT_EQ(decoded.cache.store_misses, stats.cache.store_misses);
     EXPECT_EQ(decoded.cache.spills, stats.cache.spills);
     EXPECT_EQ(decoded.cache.store_rejects, stats.cache.store_rejects);
+    EXPECT_EQ(decoded.cache.remote_hits, stats.cache.remote_hits);
+    EXPECT_EQ(decoded.cache.remote_misses, stats.cache.remote_misses);
     EXPECT_EQ(decoded.cache.entries, stats.cache.entries);
     EXPECT_EQ(decoded.cache.resident_cost, stats.cache.resident_cost);
     EXPECT_EQ(decoded.stage_telemetry.stages().at("schedule").count, 1U);
@@ -352,6 +360,195 @@ TEST(Wire, InvalidEnumBytesAreRejected) {
     bad_kind[bad_kind.size() - 17] = 0x7F;
     reseal(bad_kind);
     EXPECT_THROW((void)core::wire::decode_key(bad_kind),
+                 core::wire::WireFormatError);
+}
+
+// -- ScenarioRequest / ToolchainReport frames ---------------------------------
+
+const usecases::UseCaseApp& pill_app() {
+    static const usecases::UseCaseApp app =
+        usecases::make_camera_pill_app();
+    return app;
+}
+
+core::ScenarioRequest sample_request() {
+    const auto& app = pill_app();
+    core::ScenarioRequest request;
+    request.program = &app.program;
+    request.platform = &app.platform;
+    request.csl_source = app.csl_source;
+    request.options.compiler.population = 4;
+    request.options.compiler.iterations = 4;
+    request.options.compiler.seed = 9;
+    request.options.scheduler.seed = 9;
+    request.options.scheduler.anneal_iterations = 60;
+    request.options.profile_runs = 5;
+    request.label = "pill#wire";
+    return request;
+}
+
+/// Corruption indices for a frame: exhaustive on small frames, and on
+/// large ones (request/report frames embed whole IR programs) the full
+/// header plus a fixed stride — every structural region still gets hit
+/// while the test stays fast.
+std::vector<std::size_t> corruption_indices(std::size_t size) {
+    std::vector<std::size_t> indices;
+    const std::size_t stride = size <= 4096 ? 1 : 131;
+    for (std::size_t i = 0; i < size;
+         i += (i < 64 || stride == 1 ? 1 : stride))
+        indices.push_back(i);
+    return indices;
+}
+
+TEST(Wire, RequestFrameRoundTripsEveryField) {
+    auto request = sample_request();
+    request.options.scheduler.objective =
+        coordination::Scheduler::Objective::kMakespan;
+    request.options.glue_style = coordination::GlueStyle::kRtems;
+
+    const auto buffer = core::wire::encode(request);
+    const auto frame = core::wire::decode_request(buffer);
+    const auto decoded = frame.request();
+
+    ASSERT_NE(decoded.program, nullptr);
+    ASSERT_NE(decoded.platform, nullptr);
+    EXPECT_EQ(ir::to_string(*decoded.program),
+              ir::to_string(*request.program));
+    EXPECT_EQ(decoded.platform->name, request.platform->name);
+    ASSERT_EQ(decoded.platform->cores.size(),
+              request.platform->cores.size());
+    EXPECT_EQ(decoded.platform->cores[0].opps.size(),
+              request.platform->cores[0].opps.size());
+    EXPECT_EQ(decoded.csl_source, request.csl_source);
+    EXPECT_EQ(decoded.spec.has_value(), request.spec.has_value());
+    EXPECT_EQ(decoded.label, request.label);
+    EXPECT_EQ(decoded.options.compiler.population,
+              request.options.compiler.population);
+    EXPECT_EQ(decoded.options.compiler.seed,
+              request.options.compiler.seed);
+    EXPECT_EQ(decoded.options.scheduler.objective,
+              request.options.scheduler.objective);
+    EXPECT_EQ(decoded.options.scheduler.anneal_iterations,
+              request.options.scheduler.anneal_iterations);
+    EXPECT_EQ(decoded.options.profile_runs, request.options.profile_runs);
+    EXPECT_EQ(decoded.options.glue_style, request.options.glue_style);
+    // encode(decode(b)) == b: the decoded request re-encodes to the exact
+    // same frame, so a relayed request is indistinguishable from the
+    // original.
+    EXPECT_EQ(core::wire::encode(decoded), buffer);
+}
+
+TEST(Wire, RequestWithoutProgramIsUnencodable) {
+    core::ScenarioRequest empty;
+    EXPECT_THROW((void)core::wire::encode(empty), std::invalid_argument);
+}
+
+TEST(Wire, ReportFrameRoundTrips) {
+    // A genuine report from a full engine run, so every sub-codec (task
+    // graph with version fronts, schedule, certificate proof trees, RTA
+    // map, stage laps) carries production-shaped data.
+    core::ScenarioEngine engine;
+    const auto report = engine.submit(sample_request()).get();
+
+    const auto buffer = core::wire::encode(report);
+    const auto decoded = core::wire::decode_report(buffer);
+    EXPECT_EQ(decoded.spec.name, report.spec.name);
+    EXPECT_EQ(decoded.platform_name, report.platform_name);
+    EXPECT_EQ(decoded.schedule.makespan_s, report.schedule.makespan_s);
+    EXPECT_EQ(decoded.schedule.entries.size(),
+              report.schedule.entries.size());
+    EXPECT_EQ(decoded.certificate.to_text(),
+              report.certificate.to_text());
+    EXPECT_EQ(decoded.glue_code, report.glue_code);
+    EXPECT_EQ(decoded.sequential_glue, report.sequential_glue);
+    EXPECT_EQ(decoded.fronts.size(), report.fronts.size());
+    EXPECT_EQ(decoded.rta.size(), report.rta.size());
+    EXPECT_EQ(decoded.stage_laps.size(), report.stage_laps.size());
+    EXPECT_EQ(core::wire::encode(decoded), buffer);
+}
+
+TEST(Wire, RequestEveryTruncationIsRejected) {
+    const auto buffer = core::wire::encode(sample_request());
+    for (const std::size_t length : corruption_indices(buffer.size())) {
+        const std::span<const std::uint8_t> prefix(buffer.data(), length);
+        EXPECT_THROW((void)core::wire::decode_request(prefix),
+                     core::wire::WireFormatError)
+            << "prefix length " << length;
+    }
+}
+
+TEST(Wire, RequestEveryByteFlipIsRejected) {
+    const auto pristine = core::wire::encode(sample_request());
+    for (const std::size_t index : corruption_indices(pristine.size())) {
+        Buffer corrupted = pristine;
+        corrupted[index] ^= 0x5A;
+        EXPECT_THROW((void)core::wire::decode_request(corrupted),
+                     core::wire::WireFormatError)
+            << "flipped byte " << index;
+    }
+}
+
+TEST(Wire, RequestVersionSkewIsItsOwnError) {
+    Buffer future = core::wire::encode(sample_request());
+    future[4] = static_cast<std::uint8_t>(core::wire::kVersion + 1);
+    future[5] = 0;
+    reseal(future);
+    try {
+        (void)core::wire::decode_request(future);
+        FAIL() << "expected WireVersionError";
+    } catch (const core::wire::WireVersionError& error) {
+        EXPECT_EQ(error.found(), core::wire::kVersion + 1);
+    }
+}
+
+TEST(Wire, RequestTrailingGarbageIsRejected) {
+    Buffer padded = core::wire::encode(sample_request());
+    padded.insert(padded.end() - 8, 0x00);
+    reseal(padded);
+    EXPECT_THROW((void)core::wire::decode_request(padded),
+                 core::wire::WireFormatError);
+}
+
+TEST(Wire, RequestKindConfusionIsRejected) {
+    // A key frame is not a request, and a request frame is not a key —
+    // whatever the envelope claimed.
+    EXPECT_THROW(
+        (void)core::wire::decode_request(core::wire::encode(sample_key())),
+        core::wire::WireFormatError);
+    EXPECT_THROW((void)core::wire::decode_key(
+                     core::wire::encode(sample_request())),
+                 core::wire::WireFormatError);
+}
+
+TEST(Wire, ReportCorruptionMatrixIsRejected) {
+    core::ScenarioEngine engine;
+    const auto report = engine.submit(sample_request()).get();
+    const Buffer pristine = core::wire::encode(report);
+
+    for (const std::size_t length : corruption_indices(pristine.size())) {
+        const std::span<const std::uint8_t> prefix(pristine.data(),
+                                                   length);
+        EXPECT_THROW((void)core::wire::decode_report(prefix),
+                     core::wire::WireFormatError)
+            << "prefix length " << length;
+    }
+    for (const std::size_t index : corruption_indices(pristine.size())) {
+        Buffer corrupted = pristine;
+        corrupted[index] ^= 0x5A;
+        EXPECT_THROW((void)core::wire::decode_report(corrupted),
+                     core::wire::WireFormatError)
+            << "flipped byte " << index;
+    }
+    Buffer future = pristine;
+    future[4] = static_cast<std::uint8_t>(core::wire::kVersion + 1);
+    future[5] = 0;
+    reseal(future);
+    EXPECT_THROW((void)core::wire::decode_report(future),
+                 core::wire::WireVersionError);
+    Buffer padded = pristine;
+    padded.insert(padded.end() - 8, 0x00);
+    reseal(padded);
+    EXPECT_THROW((void)core::wire::decode_report(padded),
                  core::wire::WireFormatError);
 }
 
