@@ -17,12 +17,22 @@
 // byte-identical certificates, recompute nothing that was stored (zero
 // store misses), and show a lower completion p50; any violation fails the
 // process, which is how the CI bench-smoke step gates the store.
+//
+// A third experiment drives the admission subsystem (DESIGN.md §12) into
+// overload: arrival rate above service capacity, mixed priority classes,
+// per-class deadlines and bounded queues.  Gates: the service actually
+// sheds (rejected + shed > 0), the accounting is exact
+// (completed + rejected + shed + cancelled == submitted, cross-checked
+// against AdmissionStats), interactive p95 beats the all-equal baseline
+// p95 on the identical trace, and every completed request's certificate
+// is byte-identical to the no-admission baseline's.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <random>
@@ -293,6 +303,214 @@ bool run_cancellation_sweep(const Trace& trace,
     return ok;
 }
 
+/// 36 arrivals at mean gap 2 ms — well above what two workers can serve —
+/// with a distinct compiler seed per arrival so every scenario is unique
+/// work (no cache hit can deflate the overload) and the priority classes
+/// interleaved round-robin: interactive, batch, background, repeat.
+Trace make_overload_trace(std::uint64_t seed = 11) {
+    Trace trace;
+    trace.apps.push_back(make_uav_app("apalis-tk1"));
+    trace.apps.push_back(make_camera_pill_app());
+    trace.apps.push_back(make_rover_app("apalis-tk1"));
+
+    std::mt19937_64 rng(seed);
+    std::exponential_distribution<double> arrival(1.0 / 0.002);
+    for (int i = 0; i < 36; ++i) {
+        const auto& app = trace.apps[static_cast<std::size_t>(i) %
+                                     trace.apps.size()];
+        core::ScenarioRequest request;
+        request.program = &app.program;
+        request.platform = &app.platform;
+        request.csl_source = app.csl_source;
+        request.options.compiler.population = 6;
+        request.options.compiler.iterations = 6;
+        request.options.profile_runs = 8;
+        request.options.scheduler.anneal_iterations = 80;
+        request.options.compiler.seed =
+            100 + static_cast<std::uint64_t>(i);
+        request.priority = static_cast<core::Priority>(i % 3);
+        request.label = app.name + "#ovl" + std::to_string(i);
+        trace.requests.push_back(std::move(request));
+        trace.gaps_s.push_back(arrival(rng));
+    }
+    return trace;
+}
+
+/// Overload + mixed-priority phase.  Two runs over the identical trace:
+/// an all-equal baseline (batch priority, no deadlines, unbounded queues
+/// — the p95 reference *and* the certificate oracle), then the admission
+/// run (per-class deadlines and bounded queues on the same two workers).
+bool run_overload_phase(benchjson::Object* artifact) {
+    using Clock = std::chrono::steady_clock;
+    const auto trace = make_overload_trace();
+
+    std::map<std::string, std::string> baseline_certs;
+    std::vector<double> baseline_latencies(trace.requests.size(), 0.0);
+    {
+        core::ShardedScenarioEngine engine(
+            {.shards = 1, .worker_threads = 2});
+        std::mutex mutex;
+        std::vector<core::ScenarioTicket> tickets;
+        tickets.reserve(trace.requests.size());
+        for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(trace.gaps_s[i]));
+            auto request = trace.requests[i];
+            request.priority = core::Priority::kBatch;
+            request.deadline.reset();
+            const auto arrival = Clock::now();
+            tickets.push_back(engine.submit(
+                std::move(request),
+                [&baseline_latencies, &mutex, i,
+                 arrival](const core::ScenarioOutcome&) {
+                    const double latency =
+                        std::chrono::duration<double>(Clock::now() -
+                                                      arrival)
+                            .count();
+                    const std::lock_guard<std::mutex> lock(mutex);
+                    baseline_latencies[i] = latency;
+                }));
+        }
+        for (std::size_t i = 0; i < tickets.size(); ++i)
+            baseline_certs[trace.requests[i].label] =
+                tickets[i].get().certificate.to_text();
+    }
+    const auto baseline_stats = percentiles(baseline_latencies);
+
+    // Admission run: interactive rides free (no deadline, unbounded — it
+    // must complete, that is the class the p95 gate measures), batch gets
+    // 400 ms and a queue of 6, background 200 ms and a queue of 3.
+    core::ShardedScenarioEngine engine(
+        {.shards = 1,
+         .worker_threads = 2,
+         .admission = {.queue_depths = {0, 6, 3}}});
+    std::mutex mutex;
+    std::vector<double> interactive_latencies;
+    std::vector<core::ScenarioTicket> tickets;
+    tickets.reserve(trace.requests.size());
+    for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(trace.gaps_s[i]));
+        auto request = trace.requests[i];
+        if (request.priority == core::Priority::kBatch)
+            request.deadline =
+                Clock::now() + std::chrono::milliseconds(400);
+        else if (request.priority == core::Priority::kBackground)
+            request.deadline =
+                Clock::now() + std::chrono::milliseconds(200);
+        const bool interactive =
+            request.priority == core::Priority::kInteractive;
+        const auto arrival = Clock::now();
+        tickets.push_back(engine.submit(
+            std::move(request),
+            [&interactive_latencies, &mutex, interactive,
+             arrival](const core::ScenarioOutcome& outcome) {
+                if (!interactive || outcome.report == nullptr) return;
+                const double latency =
+                    std::chrono::duration<double>(Clock::now() - arrival)
+                        .count();
+                const std::lock_guard<std::mutex> lock(mutex);
+                interactive_latencies.push_back(latency);
+            }));
+    }
+
+    std::size_t completed = 0;
+    std::size_t rejected = 0;
+    std::size_t shed = 0;
+    std::size_t cancelled = 0;
+    std::size_t errors = 0;
+    bool certs_identical = true;
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+        try {
+            const auto report = tickets[i].get();
+            ++completed;
+            // Admission is certificate-blind: a request that survives the
+            // traffic management must produce the same bytes it produces
+            // with none.
+            certs_identical =
+                certs_identical &&
+                report.certificate.to_text() ==
+                    baseline_certs[trace.requests[i].label];
+        } catch (const core::ShedError& e) {
+            if (e.reason() == core::ShedError::Reason::kQueueFull ||
+                e.reason() ==
+                    core::ShedError::Reason::kDeadlineUnmeetable)
+                ++rejected;
+            else
+                ++shed;
+        } catch (const core::CancelledError&) {
+            ++cancelled;
+        } catch (...) {
+            ++errors;
+        }
+    }
+
+    const auto totals = engine.admission_stats().totals();
+    const bool overloaded = rejected + shed > 0;
+    const bool accounted =
+        completed + rejected + shed + cancelled ==
+            trace.requests.size() &&
+        errors == 0;
+    const bool stats_match = totals.submitted == trace.requests.size() &&
+                             totals.completed == completed &&
+                             totals.rejected == rejected &&
+                             totals.shed == shed &&
+                             totals.cancelled == cancelled &&
+                             totals.failed == 0;
+    const auto interactive_stats = interactive_latencies.empty()
+                                       ? Percentiles{}
+                                       : percentiles(interactive_latencies);
+    const bool priority_win = !interactive_latencies.empty() &&
+                              interactive_stats.p95_ms <
+                                  baseline_stats.p95_ms;
+
+    std::printf("overload baseline (all equal): p50 %8.2f ms, "
+                "p95 %8.2f ms over %zu arrivals\n",
+                baseline_stats.p50_ms, baseline_stats.p95_ms,
+                trace.requests.size());
+    std::printf("overload admission: interactive p95 %8.2f ms "
+                "(%zu completed, %zu rejected, %zu shed, %zu cancelled)\n",
+                interactive_stats.p95_ms, completed, rejected, shed,
+                cancelled);
+    if (!overloaded)
+        std::printf("overload FAIL: nothing rejected or shed — the trace "
+                    "did not overload the service\n");
+    if (!accounted)
+        std::printf("overload FAIL: %zu completed + %zu rejected + "
+                    "%zu shed + %zu cancelled + %zu errors != %zu\n",
+                    completed, rejected, shed, cancelled, errors,
+                    trace.requests.size());
+    if (!stats_match)
+        std::printf("overload FAIL: ticket outcomes disagree with "
+                    "AdmissionStats (%s)\n",
+                    engine.admission_stats().to_string().c_str());
+    if (!priority_win)
+        std::printf("overload FAIL: interactive p95 %.2f ms not below "
+                    "all-equal baseline p95 %.2f ms\n",
+                    interactive_stats.p95_ms, baseline_stats.p95_ms);
+    if (!certs_identical)
+        std::printf("overload FAIL: a completed request's certificate "
+                    "differs from the no-admission baseline\n");
+
+    artifact->push_back(
+        {"overload_phase",
+         benchjson::Object{
+             {"arrivals", trace.requests.size()},
+             {"baseline_p50_ms", baseline_stats.p50_ms},
+             {"baseline_p95_ms", baseline_stats.p95_ms},
+             {"interactive_p95_ms", interactive_stats.p95_ms},
+             {"completed", completed},
+             {"rejected", rejected},
+             {"shed", shed},
+             {"cancelled", cancelled},
+             {"accounting_exact", accounted && stats_match},
+             {"priority_win", priority_win},
+             {"certificates_identical", certs_identical},
+         }});
+    return overloaded && accounted && stats_match && priority_win &&
+           certs_identical;
+}
+
 bool print_table() {
     const auto trace = make_trace();
     std::printf("=== E5: service trace, %zu Poisson arrivals "
@@ -319,9 +537,10 @@ bool print_table() {
     };
     const bool cancel_ok = run_cancellation_sweep(trace, &artifact);
     const bool store_ok = run_store_phases(trace, &artifact);
+    const bool overload_ok = run_overload_phase(&artifact);
     benchjson::write_artifact("service_trace",
                               benchjson::Value(std::move(artifact)));
-    return store_ok && cancel_ok;
+    return store_ok && cancel_ok && overload_ok;
 }
 
 void BM_ServiceTrace(benchmark::State& state) {

@@ -1,0 +1,124 @@
+// Trajectory collator: fold every BENCH_*.json artifact in the working
+// directory into one BENCH_trajectory.json.
+//
+// Each bench binary writes its own self-identifying artifact (bench_json.hpp);
+// this tool runs after the bench smoke suite and splices the raw artifact
+// texts — they are already valid JSON — under their names, stamped with the
+// collating commit and time.  CI uploads the result alongside the per-bench
+// files, so one download tracks the whole performance trajectory of a commit
+// without scraping logs.
+//
+//   $ ./bench_trend            # collates ./BENCH_*.json
+//
+// Exit status: 0 when at least one artifact was collated and the trajectory
+// was published, 1 otherwise (an empty trajectory would silently hide a
+// bench-smoke wiring failure).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Artifact {
+    std::string name;  ///< "service_trace" from BENCH_service_trace.json
+    std::string text;  ///< raw JSON, trailing whitespace trimmed
+};
+
+/// BENCH_<name>.json files in `dir`, excluding the trajectory itself (a
+/// rerun must not recursively embed its own previous output) and staging
+/// leftovers.  Sorted by name so the collated object diffs cleanly.
+std::vector<Artifact> collect(const fs::path& dir) {
+    std::vector<Artifact> artifacts;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string filename = entry.path().filename().string();
+        if (filename.rfind("BENCH_", 0) != 0) continue;
+        if (filename.size() < 12 ||
+            filename.substr(filename.size() - 5) != ".json")
+            continue;
+        const std::string name =
+            filename.substr(6, filename.size() - 6 - 5);
+        if (name == "trajectory") continue;
+
+        std::ifstream in(entry.path(), std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        std::string text = buffer.str();
+        while (!text.empty() &&
+               (text.back() == '\n' || text.back() == '\r' ||
+                text.back() == ' '))
+            text.pop_back();
+        if (!in || text.empty() || text.front() != '{') {
+            std::fprintf(stderr, "warning: skipping malformed %s\n",
+                         filename.c_str());
+            continue;
+        }
+        artifacts.push_back({name, std::move(text)});
+    }
+    std::sort(artifacts.begin(), artifacts.end(),
+              [](const Artifact& a, const Artifact& b) {
+                  return a.name < b.name;
+              });
+    return artifacts;
+}
+
+}  // namespace
+
+int main() {
+    using teamplay::benchjson::Value;
+    const auto artifacts = collect(fs::current_path());
+    if (artifacts.empty()) {
+        std::fprintf(stderr,
+                     "bench_trend: no BENCH_*.json artifacts found in %s\n",
+                     fs::current_path().string().c_str());
+        return 1;
+    }
+
+    // The artifact texts are spliced raw (each already carries its own
+    // git_sha/generated_utc), so the trajectory is assembled as text and
+    // published with the same stage-and-rename discipline as
+    // benchjson::write_artifact.
+    std::ostringstream os;
+    os << "{\"git_sha\":";
+    Value(teamplay::benchjson::git_sha()).dump(os);
+    os << ",\"generated_utc\":\"" << teamplay::benchjson::utc_timestamp()
+       << "\",\"artifacts\":{";
+    bool first = true;
+    for (const auto& artifact : artifacts) {
+        if (!first) os << ',';
+        first = false;
+        Value(artifact.name).dump(os);
+        os << ':' << artifact.text;
+    }
+    os << "}}\n";
+    const std::string text = os.str();
+
+    const std::string path = "BENCH_trajectory.json";
+    const std::string staged = path + ".tmp";
+    std::FILE* file = std::fopen(staged.c_str(), "w");
+    if (file == nullptr) {
+        std::fprintf(stderr, "bench_trend: cannot write %s\n",
+                     staged.c_str());
+        return 1;
+    }
+    bool ok = std::fwrite(text.data(), 1, text.size(), file) == text.size();
+    ok = std::fflush(file) == 0 && ok;
+    std::fclose(file);
+    if (!ok || std::rename(staged.c_str(), path.c_str()) != 0) {
+        std::fprintf(stderr, "bench_trend: cannot publish %s\n",
+                     path.c_str());
+        std::remove(staged.c_str());
+        return 1;
+    }
+    std::printf("bench_trend: collated %zu artifact(s) into %s\n",
+                artifacts.size(), path.c_str());
+    return 0;
+}

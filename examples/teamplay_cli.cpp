@@ -77,6 +77,13 @@ void usage() {
         "                      misses before recomputing (repeatable)\n"
         "  --stream            submit scenarios asynchronously and print\n"
         "                      each result as it completes\n"
+        "  --priority <p>      admission class for every scenario:\n"
+        "                      interactive, batch (default), background\n"
+        "  --deadline-ms <n>   per-scenario deadline; requests that cannot\n"
+        "                      meet it are rejected at admission or shed at\n"
+        "                      the next stage boundary (retryable)\n"
+        "  --queue-depth <n>   bound each priority class's admission queue\n"
+        "                      at n (default 0 = unbounded)\n"
         "  --cache-budget <n>  evict evaluation-cache entries beyond n,\n"
         "                      per shard (default 0 = unbounded)\n"
         "  --store-dir <dir>   persistent result store shared by all\n"
@@ -150,6 +157,23 @@ void dump_certificate(const std::string& dir, const std::string& label,
                      path.string().c_str());
 }
 
+void print_admission(const core::ShardedScenarioEngine& engine) {
+    const auto totals = engine.admission_stats().totals();
+    // Stable key=value shape with ` rejected=` and ` shed=` adjacent: the
+    // CI fabric job greps this line to prove overload handling engaged.
+    std::printf(
+        "admission: submitted=%llu admitted=%llu rejected=%llu shed=%llu "
+        "completed=%llu cancelled=%llu failed=%llu queue-peak=%llu\n",
+        static_cast<unsigned long long>(totals.submitted),
+        static_cast<unsigned long long>(totals.admitted),
+        static_cast<unsigned long long>(totals.rejected),
+        static_cast<unsigned long long>(totals.shed),
+        static_cast<unsigned long long>(totals.completed),
+        static_cast<unsigned long long>(totals.cancelled),
+        static_cast<unsigned long long>(totals.failed),
+        static_cast<unsigned long long>(totals.queue_peak));
+}
+
 void print_trace_cache(sim::SimBackend backend) {
     if (backend != sim::SimBackend::kTrace) return;
     const auto stats = sim::TraceCache::process_wide()->stats();
@@ -204,6 +228,9 @@ int main(int argc, char** argv) {
     std::string cert_dump_dir;
     std::vector<std::string> remote_endpoints;
     std::vector<std::string> fetch_peers;
+    core::Priority priority = core::Priority::kBatch;
+    std::uint64_t deadline_ms = 0;
+    std::size_t queue_depth = 0;
     bool serve = false;
     std::uint16_t serve_port = 0;
     sim::SimBackend backend = sim::SimBackend::kInterp;
@@ -240,6 +267,18 @@ int main(int argc, char** argv) {
             remote_endpoints.emplace_back(argv[++i]);
         } else if (arg == "--fetch-peer" && i + 1 < argc) {
             fetch_peers.emplace_back(argv[++i]);
+        } else if (arg == "--priority" && i + 1 < argc) {
+            const auto parsed = core::parse_priority(argv[++i]);
+            if (!parsed) {
+                std::fprintf(stderr, "unknown priority class: %s\n",
+                             argv[i]);
+                return 2;
+            }
+            priority = *parsed;
+        } else if (arg == "--deadline-ms" && i + 1 < argc) {
+            deadline_ms = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--queue-depth" && i + 1 < argc) {
+            queue_depth = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--cache-budget" && i + 1 < argc) {
             cache_budget = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--store-dir" && i + 1 < argc) {
@@ -282,6 +321,8 @@ int main(int argc, char** argv) {
                 server_options.engine.result_store =
                     std::make_shared<core::ResultStore>(store_dir);
             server_options.engine.sim = {.backend = backend};
+            server_options.engine.admission.queue_depths = {
+                queue_depth, queue_depth, queue_depth};
             net::ShardServer server(std::move(server_options));
             std::printf("shard server: listening on port %u\n",
                         static_cast<unsigned>(server.port()));
@@ -364,6 +405,10 @@ int main(int argc, char** argv) {
                 csl_override.empty() ? app.csl_source : csl_override;
             request.options = options;
             request.label = app.name;
+            request.priority = priority;
+            if (deadline_ms > 0)
+                request.deadline = std::chrono::steady_clock::now() +
+                                   std::chrono::milliseconds(deadline_ms);
             requests.push_back(std::move(request));
         }
 
@@ -380,7 +425,9 @@ int main(int argc, char** argv) {
              .result_store = store,
              .sim = {.backend = backend},
              .remote_endpoints = remote_endpoints,
-             .fetch_peers = fetch_peers});
+             .fetch_peers = fetch_peers,
+             .admission = {.queue_depths = {queue_depth, queue_depth,
+                                            queue_depth}}});
 
         if (stream) {
             // Service-core view: consume results in completion order via
@@ -415,8 +462,9 @@ int main(int argc, char** argv) {
                             std::printf("[%zu/%zu] %s: %s\n", completed,
                                         requests.size(),
                                         outcome.label.c_str(),
-                                        outcome.cancelled ? "cancelled"
-                                                          : "failed");
+                                        outcome.shed        ? "shed"
+                                        : outcome.cancelled ? "cancelled"
+                                                            : "failed");
                         }
                     }));
             }
@@ -448,6 +496,7 @@ int main(int argc, char** argv) {
             print_shard_breakdown(engine);
             print_result_store(engine, store);
             print_remote_fetch(engine, !fetch_peers.empty());
+            print_admission(engine);
             print_trace_cache(backend);
             if (!quiet)
                 std::printf("--- per-stage telemetry (all shards) ---\n%s",
@@ -473,6 +522,7 @@ int main(int argc, char** argv) {
         print_shard_breakdown(engine);
         print_result_store(engine, store);
         print_remote_fetch(engine, !fetch_peers.empty());
+        print_admission(engine);
         print_trace_cache(backend);
         if (!quiet)
             std::printf("--- per-stage telemetry (all shards) ---\n%s",

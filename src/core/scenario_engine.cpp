@@ -33,6 +33,7 @@ struct TicketState {
     std::condition_variable cv;
     bool done = false;
     bool cancelled = false;
+    bool shed = false;
     bool retrieved = false;
     ToolchainReport report;
     std::exception_ptr error;
@@ -45,7 +46,8 @@ namespace {
 /// Shared completion tail of engine-executed and external tickets: run the
 /// callback, publish under the rendezvous lock, release the waiters.
 void publish_ticket(detail::TicketState& state, ToolchainReport report,
-                    std::exception_ptr error, bool cancelled) {
+                    std::exception_ptr error, bool cancelled,
+                    bool shed = false) {
     if (state.on_complete) {
         ScenarioOutcome outcome;
         outcome.id = state.id;
@@ -53,6 +55,7 @@ void publish_ticket(detail::TicketState& state, ToolchainReport report,
         outcome.report = error ? nullptr : &report;
         outcome.error = error;
         outcome.cancelled = cancelled;
+        outcome.shed = shed;
         try {
             state.on_complete(outcome);
         } catch (...) {
@@ -65,6 +68,7 @@ void publish_ticket(detail::TicketState& state, ToolchainReport report,
         state.report = std::move(report);
         state.error = error;
         state.cancelled = cancelled;
+        state.shed = shed;
         state.done = true;
     }
     state.finished.store(true, std::memory_order_release);
@@ -95,8 +99,9 @@ ScenarioTicket wrap_external_ticket(std::shared_ptr<TicketState> state) {
 }
 
 void complete_external_ticket(TicketState& state, ToolchainReport report,
-                              std::exception_ptr error, bool cancelled) {
-    publish_ticket(state, std::move(report), error, cancelled);
+                              std::exception_ptr error, bool cancelled,
+                              bool shed) {
+    publish_ticket(state, std::move(report), error, cancelled, shed);
 }
 
 const ScenarioRequest& ticket_request(const TicketState& state) {
@@ -163,6 +168,7 @@ void BatchStats::merge(const BatchStats& other) {
         wall_s > 0.0 ? static_cast<double>(scenarios) / wall_s : 0.0;
     cache.merge(other.cache);
     stage_telemetry.merge(other.stage_telemetry);
+    admission.merge(other.admission);
 }
 
 std::string BatchStats::to_string() const {
@@ -179,9 +185,12 @@ std::string BatchStats::to_string() const {
 ScenarioEngine::ScenarioEngine(Options options)
     : cache_(options.cache_budget, std::move(options.result_store)),
       sim_(std::move(options.sim)),
+      admission_(options.admission),
       predictable_stages_(predictable_stage_configuration()),
       complex_stages_(complex_stage_configuration()),
-      pool_(options.worker_threads) {
+      // Lane 0 is reserved for parallel_for fan-out of running scenarios;
+      // lanes 1..N map the priority classes (see thread_pool.hpp).
+      pool_(options.worker_threads, kNumPriorityClasses + 1) {
     // Materialise the trace cache up front so every stage (and, through
     // ShardedScenarioEngine, every shard) shares one instance and its stats
     // are observable via trace_cache().
@@ -224,13 +233,25 @@ ToolchainReport ScenarioEngine::run_scenario(
     const auto& stages = request.platform->predictable()
                              ? predictable_stages_
                              : complex_stages_;
-    for (const auto& stage : stages) {
+    std::vector<std::string_view> stage_names;
+    stage_names.reserve(stages.size());
+    for (const auto& stage : stages) stage_names.push_back(stage->name());
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        const auto& stage = stages[i];
         // Cooperative cancellation, checked at every stage boundary: work
         // already handed to the cache completes (single-flight slots are
         // never abandoned), so a cancelled request stays retryable.
         if (cancelled != nullptr &&
             cancelled->load(std::memory_order_relaxed))
             throw CancelledError(request.label);
+        // Deadline budget, enforced at the same boundaries: shed (throws
+        // ShedError, equally retryable) once the rolling estimate of the
+        // remaining stages no longer fits before the deadline.
+        if (request.deadline.has_value())
+            admission_.enforce_budget(
+                request.priority, *request.deadline,
+                std::span<const std::string_view>(stage_names).subspan(i),
+                request.label);
         const auto lap_start = std::chrono::steady_clock::now();
         stage->run(context);
         context.report.stage_laps.push_back(
@@ -255,18 +276,27 @@ ToolchainReport ScenarioEngine::run_scenario(
 
 void ScenarioEngine::execute(detail::TicketState& state) {
     state.started.store(true, std::memory_order_release);
+    admission_.on_start(state.request.priority);
     ToolchainReport report;
     std::exception_ptr error;
     bool cancelled = false;
+    bool shed = false;
     try {
         report = run_scenario(state.request, &state.cancel);
+        admission_.on_completed(state.request.priority, report.stage_laps);
+    } catch (const ShedError&) {
+        shed = true;
+        error = std::current_exception();
+        admission_.on_shed(state.request.priority);
     } catch (const CancelledError&) {
         cancelled = true;
         error = std::current_exception();
+        admission_.on_cancelled(state.request.priority);
     } catch (...) {
         error = std::current_exception();
+        admission_.on_failed(state.request.priority);
     }
-    publish_ticket(state, std::move(report), error, cancelled);
+    publish_ticket(state, std::move(report), error, cancelled, shed);
 }
 
 ScenarioTicket ScenarioEngine::submit(ScenarioRequest request,
@@ -276,9 +306,22 @@ ScenarioTicket ScenarioEngine::submit(ScenarioRequest request,
     state->request = std::move(request);
     state->pool = &pool_;
     state->on_complete = std::move(on_complete);
+    // Admission gate: a refused request never touches the pool — its
+    // ticket is published failed (retryable ShedError) right here, on the
+    // submitting thread, so overload answers in microseconds.
+    if (auto rejection = admission_.try_admit(state->request.priority,
+                                              state->request.deadline,
+                                              state->request.label)) {
+        state->started.store(true, std::memory_order_release);
+        publish_ticket(*state, {}, rejection, /*cancelled=*/false,
+                       /*shed=*/true);
+        return ScenarioTicket(std::move(state));
+    }
     // The task owns a reference to the state, so a caller that drops its
-    // ticket (fire-and-forget with a completion callback) is safe.
-    pool_.submit([this, state] { execute(*state); });
+    // ticket (fire-and-forget with a completion callback) is safe.  The
+    // pool lane is the priority class (lane 0 belongs to stage fan-out).
+    pool_.submit([this, state] { execute(*state); },
+                 1 + static_cast<std::size_t>(state->request.priority));
     return ScenarioTicket(std::move(state));
 }
 
@@ -289,6 +332,7 @@ ToolchainReport ScenarioEngine::run(const ScenarioRequest& request) {
 std::vector<ToolchainReport> ScenarioEngine::run_all(
     std::span<const ScenarioRequest> requests, BatchStats* stats) {
     const auto before = cache_.stats();
+    const auto admission_before = admission_.stats();
     const auto start = std::chrono::steady_clock::now();
 
     std::vector<ScenarioTicket> tickets;
@@ -317,6 +361,7 @@ std::vector<ToolchainReport> ScenarioEngine::run_all(
                 ? static_cast<double>(requests.size()) / stats->wall_s
                 : 0.0;
         stats->cache = after.since(before);
+        stats->admission = admission_.stats().since(admission_before);
         // Merge in request order: deterministic, and identical in shape to
         // what a streamed consumer would aggregate from its callbacks.
         for (const auto& report : reports)

@@ -39,6 +39,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <memory>
 #include <mutex>
@@ -49,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "core/admission.hpp"
 #include "core/evaluation_cache.hpp"
 #include "core/stage_telemetry.hpp"
 #include "core/workflow.hpp"
@@ -60,6 +62,10 @@ namespace teamplay::core {
 class Stage;
 class ScenarioEngine;
 
+// CancelledError / ShedError / Priority live in core/admission.hpp (the
+// admission layer owns the service's retryable-error and priority model);
+// they remain visible through this header for every existing include site.
+
 /// One toolchain invocation to execute.
 struct ScenarioRequest {
     const ir::Program* program = nullptr;      ///< must outlive the engine run
@@ -68,27 +74,14 @@ struct ScenarioRequest {
     std::optional<csl::AppSpec> spec;          ///< pre-parsed spec wins
     WorkflowOptions options;
     std::string label;                         ///< free-form tag for reports
-};
-
-/// Thrown out of a scenario whose ticket was cancelled; surfaces through
-/// `ScenarioTicket::get` and completion callbacks, never caches anything.
-///
-/// This is also the *retryable* error class of the service surface: the
-/// scenario did not fail, the attempt did — resubmitting the identical
-/// request is always safe and produces the same bytes.  Transport-level
-/// failures (net/remote_shard.hpp) derive from it through the protected
-/// constructor so `catch (const CancelledError&)` retry loops cover both.
-class CancelledError : public std::runtime_error {
-public:
-    explicit CancelledError(const std::string& label)
-        : std::runtime_error("scenario cancelled" +
-                             (label.empty() ? "" : ": " + label)) {}
-
-protected:
-    /// Tag for subclasses that carry their own full message.
-    struct RawMessage {};
-    CancelledError(RawMessage, const std::string& message)
-        : std::runtime_error(message) {}
+    /// Service class: picks the pool lane and the admission queue.  Does
+    /// not influence any computed byte — certificates are priority-blind.
+    Priority priority = Priority::kBatch;
+    /// Absolute completion deadline (steady clock).  Admission rejects a
+    /// request whose deadline is already unmeetable; stage boundaries shed
+    /// it once the remaining budget is gone.  Crosses the fabric as
+    /// *remaining budget*, so cross-host clock skew never bites.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /// Aggregate throughput statistics of one `run_all` batch.
@@ -99,6 +92,7 @@ struct BatchStats {
     double scenarios_per_s = 0.0;
     EvaluationCache::Stats cache;     ///< hits/misses/evictions of this batch
     StageTelemetry stage_telemetry;   ///< per-stage count/total/max
+    AdmissionStats admission;         ///< admitted/rejected/shed per class
 
     /// Fold another batch's statistics in (commutative): scenario and
     /// cache counters sum, telemetry merges, and `wall_s` takes the max —
@@ -128,6 +122,10 @@ struct ScenarioOutcome {
     const ToolchainReport* report = nullptr;  ///< null on error/cancellation
     std::exception_ptr error;         ///< set on failure (incl. cancellation)
     bool cancelled = false;
+    /// Refused at admission or shed at a stage boundary (`error` holds the
+    /// ShedError).  Disjoint from `cancelled`: sheds are the service's
+    /// decision, cancels the caller's.
+    bool shed = false;
 };
 
 /// Per-scenario future handle returned by `ScenarioEngine::submit`.
@@ -188,6 +186,10 @@ public:
         /// process-wide backend; results are backend-invariant, so this is
         /// never part of an EvaluationKey.
         sim::SimOptions sim;
+        /// Admission control (queue depths per priority class).  The
+        /// default admits everything — identical to the pre-admission
+        /// engine unless requests carry deadlines.
+        AdmissionController::Options admission;
     };
 
     /// Invoked on the executing thread right after a scenario finishes,
@@ -254,6 +256,12 @@ public:
     /// completed (streamed and batched).
     [[nodiscard]] StageTelemetry stage_telemetry() const;
 
+    /// Cumulative admission accounting (submitted/admitted/rejected/shed
+    /// per priority class) since construction.
+    [[nodiscard]] AdmissionStats admission_stats() const {
+        return admission_.stats();
+    }
+
     /// Threads that execute work (workers + caller).
     [[nodiscard]] std::size_t concurrency() const {
         return pool_.concurrency();
@@ -272,6 +280,7 @@ private:
     std::set<std::uint64_t> validated_programs_;
     mutable std::mutex telemetry_mutex_;
     StageTelemetry telemetry_;
+    AdmissionController admission_;
     std::atomic<std::size_t> next_ticket_id_{0};
     std::vector<std::unique_ptr<const Stage>> predictable_stages_;
     std::vector<std::unique_ptr<const Stage>> complex_stages_;
@@ -299,9 +308,11 @@ namespace detail {
 
 /// Publish the outcome of an external ticket: runs the completion
 /// callback, stores the report/error, and releases every waiter.  Must be
-/// called exactly once per ticket.
+/// called exactly once per ticket.  `shed` marks a server-side admission
+/// refusal / budget shed (mirrors ScenarioOutcome::shed).
 void complete_external_ticket(TicketState& state, ToolchainReport report,
-                              std::exception_ptr error, bool cancelled);
+                              std::exception_ptr error, bool cancelled,
+                              bool shed = false);
 
 [[nodiscard]] const ScenarioRequest& ticket_request(const TicketState& state);
 [[nodiscard]] std::size_t ticket_id(const TicketState& state);

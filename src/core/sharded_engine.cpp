@@ -1,5 +1,6 @@
 #include "core/sharded_engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 #include <stdexcept>
@@ -71,6 +72,10 @@ ShardedScenarioEngine::ShardedScenarioEngine(Options options) {
     // throws before any engine (and its pool) is spun up.  shards == 0 is
     // only normalised to 1 when there are no remotes: with remotes it
     // means a pure front-end that routes everything across the wire.
+    remote_failures_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+        options.remote_endpoints.size());
+    for (std::size_t i = 0; i < options.remote_endpoints.size(); ++i)
+        remote_failures_[i].store(0, std::memory_order_relaxed);
     remotes_.reserve(options.remote_endpoints.size());
     for (const auto& endpoint : options.remote_endpoints)
         remotes_.push_back(
@@ -96,6 +101,7 @@ ShardedScenarioEngine::ShardedScenarioEngine(Options options) {
         shard_options.cache_budget = options.cache_budget;
         shard_options.result_store = options.result_store;
         shard_options.sim = options.sim;
+        shard_options.admission = options.admission;
         shards_.push_back(std::make_unique<ScenarioEngine>(shard_options));
     }
 
@@ -155,8 +161,31 @@ ScenarioTicket ShardedScenarioEngine::submit(ScenarioRequest request,
     if (shard < shards_.size())
         return shards_[shard]->submit(std::move(request),
                                       std::move(on_complete));
-    return remotes_[shard - shards_.size()]->submit(std::move(request),
-                                                    std::move(on_complete));
+    const std::size_t remote = shard - shards_.size();
+    // Health bookkeeping rides the completion: a transport failure
+    // (RemoteShardError) bumps the remote's consecutive-failure gauge;
+    // any completed exchange — a report, a server-side shed, a cancel,
+    // even a server error reply — proves the remote alive and resets it.
+    std::atomic<std::uint64_t>* failures = &remote_failures_[remote];
+    return remotes_[remote]->submit(
+        std::move(request),
+        [failures, on_complete = std::move(on_complete)](
+            const ScenarioOutcome& outcome) {
+            bool transport_failure = false;
+            if (outcome.error) {
+                try {
+                    std::rethrow_exception(outcome.error);
+                } catch (const net::RemoteShardError&) {
+                    transport_failure = true;
+                } catch (...) {
+                }
+            }
+            if (transport_failure)
+                failures->fetch_add(1, std::memory_order_relaxed);
+            else
+                failures->store(0, std::memory_order_relaxed);
+            if (on_complete) on_complete(outcome);
+        });
 }
 
 ToolchainReport ShardedScenarioEngine::run(const ScenarioRequest& request) {
@@ -166,11 +195,15 @@ ToolchainReport ShardedScenarioEngine::run(const ScenarioRequest& request) {
 std::vector<ToolchainReport> ShardedScenarioEngine::run_all(
     std::span<const ScenarioRequest> requests, BatchStats* stats) {
     std::vector<EvaluationCache::Stats> before;
+    std::vector<AdmissionStats> admission_before;
     std::vector<std::optional<BatchStats>> remote_before;
     if (stats != nullptr) {
         before.reserve(shards_.size());
-        for (const auto& shard : shards_)
+        admission_before.reserve(shards_.size());
+        for (const auto& shard : shards_) {
             before.push_back(shard->cache_stats());
+            admission_before.push_back(shard->admission_stats());
+        }
         remote_before.reserve(remotes_.size());
         for (const auto& remote : remotes_)
             remote_before.push_back(remote->stats());
@@ -207,15 +240,31 @@ std::vector<ToolchainReport> ShardedScenarioEngine::run_all(
         // that was unreachable at either edge contributes nothing rather
         // than a bogus delta.
         stats->cache = {};
-        for (std::size_t i = 0; i < shards_.size(); ++i)
+        stats->admission = {};
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
             stats->cache.merge(shards_[i]->cache_stats().since(before[i]));
+            stats->admission.merge(
+                shards_[i]->admission_stats().since(admission_before[i]));
+        }
         for (std::size_t i = 0; i < remotes_.size(); ++i) {
             if (!remote_before[i].has_value()) continue;
             const auto after = remotes_[i]->stats();
-            if (after.has_value())
+            if (after.has_value()) {
                 stats->cache.merge(
                     after->cache.since(remote_before[i]->cache));
+                stats->admission.merge(after->admission.since(
+                    remote_before[i]->admission));
+            }
         }
+        // The per-remote consecutive-failure gauges ride along so a batch
+        // caller sees transport health without a second accessor.
+        stats->admission.remote_failures.resize(
+            std::max(stats->admission.remote_failures.size(),
+                     remotes_.size()),
+            0);
+        for (std::size_t i = 0; i < remotes_.size(); ++i)
+            stats->admission.remote_failures[i] +=
+                remote_failures_[i].load(std::memory_order_relaxed);
         // Remote reports carry their server-side stage laps plus the
         // client-side net/* hop laps, so one fold covers both sides.
         for (const auto& report : reports)
@@ -223,6 +272,26 @@ std::vector<ToolchainReport> ShardedScenarioEngine::run_all(
     }
     if (first_error) std::rethrow_exception(first_error);
     return reports;
+}
+
+AdmissionStats ShardedScenarioEngine::admission_stats() const {
+    AdmissionStats folded;
+    for (const auto& shard : shards_)
+        folded.merge(shard->admission_stats());
+    for (const auto& remote : remotes_)
+        if (const auto stats = remote->stats())
+            folded.merge(stats->admission);
+    // This front-end's transport-health gauges, in endpoint order.  The
+    // merge above sums element-wise, so remote-side entries (normally
+    // empty — a server engine has no remotes) would stack under ours;
+    // acceptable for a gauge vector documented as "this engine's view".
+    AdmissionStats local;
+    local.remote_failures.reserve(remotes_.size());
+    for (std::size_t i = 0; i < remotes_.size(); ++i)
+        local.remote_failures.push_back(
+            remote_failures_[i].load(std::memory_order_relaxed));
+    folded.merge(local);
+    return folded;
 }
 
 EvaluationCache::Stats ShardedScenarioEngine::cache_stats() const {

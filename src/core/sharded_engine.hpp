@@ -32,7 +32,9 @@
 // to the single-engine output on the same batch.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -83,6 +85,11 @@ public:
         /// miss into a remote hit with zero recomputes.  Peers are *not*
         /// routing targets; unreachable peers degrade to misses.
         std::vector<std::string> fetch_peers;
+        /// Admission control applied *per shard* (each shard's controller
+        /// bounds its own queues).  Remote shards enforce their server's
+        /// configuration — deadlines travel with the request, queue depths
+        /// do not.
+        AdmissionController::Options admission;
     };
 
     using Completion = ScenarioEngine::Completion;
@@ -134,6 +141,13 @@ public:
     /// shards in endpoint order.
     [[nodiscard]] std::size_t shard_of(const ScenarioRequest& request) const;
 
+    /// Fold of every shard's admission counters.  Remote shards contribute
+    /// their server-side counters via the stats RPC (an unreachable remote
+    /// contributes nothing); `remote_failures[i]` carries this front-end's
+    /// consecutive-transport-failure gauge for remote i, in endpoint order —
+    /// groundwork for health-checked rerouting.
+    [[nodiscard]] AdmissionStats admission_stats() const;
+
     /// Fold of every shard's cache snapshot.  Remote shards contribute
     /// their server-side counters via the stats RPC; an unreachable remote
     /// contributes nothing.
@@ -163,6 +177,12 @@ public:
     void clear_caches();
 
 private:
+    /// Consecutive transport failures per remote (reset by any completed
+    /// exchange, including server-side sheds and error replies — those
+    /// prove the remote alive).  Declared *before* `remotes_` so it
+    /// outlives the remotes' reader threads, whose completion callbacks
+    /// update it during teardown.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> remote_failures_;
     /// Remotes and fetch peers are declared before the local shards so the
     /// shards are destroyed *first*: a draining local scenario may still
     /// consult a fetch peer from its compute path.

@@ -1,6 +1,8 @@
 #include "core/wire.hpp"
 
 #include <bit>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <utility>
 
@@ -433,6 +435,41 @@ EvaluationCache::Stats get_cache_stats(Reader& reader) {
     stats.remote_misses = reader.u64();
     stats.entries = reader.u64();
     stats.resident_cost = reader.f64();
+    return stats;
+}
+
+void put_admission(Writer& writer, const AdmissionStats& stats) {
+    for (const auto& per_class : stats.classes) {
+        writer.u64(per_class.submitted);
+        writer.u64(per_class.admitted);
+        writer.u64(per_class.rejected);
+        writer.u64(per_class.shed);
+        writer.u64(per_class.completed);
+        writer.u64(per_class.cancelled);
+        writer.u64(per_class.failed);
+        writer.u64(per_class.queue_peak);
+    }
+    writer.u32(static_cast<std::uint32_t>(stats.remote_failures.size()));
+    for (const std::uint64_t failures : stats.remote_failures)
+        writer.u64(failures);
+}
+
+AdmissionStats get_admission(Reader& reader) {
+    AdmissionStats stats;
+    for (auto& per_class : stats.classes) {
+        per_class.submitted = reader.u64();
+        per_class.admitted = reader.u64();
+        per_class.rejected = reader.u64();
+        per_class.shed = reader.u64();
+        per_class.completed = reader.u64();
+        per_class.cancelled = reader.u64();
+        per_class.failed = reader.u64();
+        per_class.queue_peak = reader.u64();
+    }
+    const std::uint32_t remotes = reader.count(8);
+    stats.remote_failures.reserve(remotes);
+    for (std::uint32_t i = 0; i < remotes; ++i)
+        stats.remote_failures.push_back(reader.u64());
     return stats;
 }
 
@@ -993,6 +1030,7 @@ Buffer encode(const BatchStats& stats) {
     writer.f64(stats.scenarios_per_s);
     put_cache_stats(writer, stats.cache);
     put_telemetry(writer, stats.stage_telemetry);
+    put_admission(writer, stats.admission);
     return seal_message(std::move(writer));
 }
 
@@ -1005,6 +1043,7 @@ BatchStats decode_batch_stats(std::span<const std::uint8_t> buffer) {
     stats.scenarios_per_s = reader.f64();
     stats.cache = get_cache_stats(reader);
     stats.stage_telemetry = get_telemetry(reader);
+    stats.admission = get_admission(reader);
     expect_fully_consumed(reader);
     return stats;
 }
@@ -1017,6 +1056,8 @@ ScenarioRequest ScenarioRequestFrame::request() const {
     request.spec = spec;
     request.options = options;
     request.label = label;
+    request.priority = priority;
+    request.deadline = deadline;
     return request;
 }
 
@@ -1033,6 +1074,14 @@ Buffer encode(const ScenarioRequest& request) {
     if (request.spec) put_app_spec(writer, *request.spec);
     put_options(writer, request.options);
     writer.str(request.label);
+    writer.u8(static_cast<std::uint8_t>(request.priority));
+    // The deadline crosses as remaining budget, sampled now: an absolute
+    // steady-clock value is meaningless on another host's clock.
+    writer.boolean(request.deadline.has_value());
+    if (request.deadline.has_value())
+        writer.f64(std::chrono::duration<double>(
+                       *request.deadline - std::chrono::steady_clock::now())
+                       .count());
     return seal_message(std::move(writer));
 }
 
@@ -1045,6 +1094,22 @@ ScenarioRequestFrame decode_request(std::span<const std::uint8_t> buffer) {
     if (reader.boolean()) frame.spec = get_app_spec(reader);
     frame.options = get_options(reader);
     frame.label = reader.str();
+    const std::uint8_t priority = reader.u8();
+    if (priority >= kNumPriorityClasses)
+        throw WireFormatError("wire priority byte invalid");
+    frame.priority = static_cast<Priority>(priority);
+    if (reader.boolean()) {
+        const double budget_s = reader.f64();
+        if (std::isnan(budget_s))
+            throw WireFormatError("wire deadline budget is NaN");
+        // Re-anchor on this host's steady clock.  A negative budget is
+        // legal: it means the deadline passed in transit and admission
+        // should refuse the request immediately.
+        frame.deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(budget_s));
+    }
     expect_fully_consumed(reader);
     return frame;
 }

@@ -13,6 +13,14 @@
 //   decode(encode(x)) == x   field-for-field (doubles bit-exact),
 //   encode(decode(b)) == b   byte-for-byte for any accepted buffer.
 //
+// One deliberate exception: a ScenarioRequest deadline travels as
+// *remaining budget* (seconds until the deadline, sampled at encode
+// time) rather than as an absolute clock value, so cross-host clock skew
+// can never move a deadline.  The decoder re-anchors the budget on its
+// own steady clock; for deadline-carrying frames the round trip is
+// therefore semantic (budget preserved minus transit time), not
+// byte-exact.  Frames without a deadline keep both guarantees in full.
+//
 // Layout (all integers little-endian regardless of host endianness;
 // doubles are their IEEE-754 bit pattern as a little-endian u64):
 //
@@ -49,7 +57,11 @@ namespace teamplay::core::wire {
 /// wire messages (program + platform + CSL + options travel whole), and
 /// EvaluationCache::Stats gained the remote-fetch counters
 /// (remote_hits/remote_misses) inside BatchStats.
-inline constexpr std::uint16_t kVersion = 3;
+/// v4: admission subsystem — kRequest frames carry the priority class and
+/// the optional deadline (as remaining budget, see above); BatchStats
+/// frames carry AdmissionStats (per-class admitted/rejected/shed/...
+/// counters plus per-remote consecutive-failure gauges).
+inline constexpr std::uint16_t kVersion = 4;
 
 /// Base class of every codec error.
 class WireError : public std::runtime_error {
@@ -92,6 +104,10 @@ struct ScenarioRequestFrame {
     std::optional<csl::AppSpec> spec;
     WorkflowOptions options;
     std::string label;
+    Priority priority = Priority::kBatch;
+    /// Re-anchored on the decoder's steady clock from the wire's
+    /// remaining-budget field (see the header comment).
+    std::optional<std::chrono::steady_clock::time_point> deadline;
 
     [[nodiscard]] ScenarioRequest request() const;
 };

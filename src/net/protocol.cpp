@@ -22,7 +22,7 @@ Envelope decode_envelope(std::span<const std::uint8_t> frame) {
                        << (8 * byte);
     const std::uint8_t type = frame[8];
     if (type < static_cast<std::uint8_t>(MsgType::kSubmit) ||
-        type > static_cast<std::uint8_t>(MsgType::kReplyStats))
+        type > static_cast<std::uint8_t>(MsgType::kReplyShed))
         throw core::wire::WireFormatError("envelope type invalid");
     envelope.type = static_cast<MsgType>(type);
     envelope.payload.assign(frame.begin() + 9, frame.end());

@@ -11,6 +11,8 @@
 //   client -> server                server -> client
 //   kSubmit  wire::ScenarioRequest  kReplyReport     wire::ToolchainReport
 //                                   kReplyCancelled  text
+//                                   kReplyShed       text (admission
+//                                    refusal or budget shed; retryable)
 //                                   kReplyError      text
 //   kFetch   wire::EvaluationKey    kReplyResult     wire::EvaluationResult
 //                                   kReplyMiss       (empty)
@@ -37,6 +39,7 @@ enum class MsgType : std::uint8_t {
     kReplyError = 8,
     kReplyCancelled = 9,
     kReplyStats = 10,
+    kReplyShed = 11,
 };
 
 struct Envelope {

@@ -106,6 +106,18 @@ core::ScenarioTicket RemoteShard::submit(
                         core::detail::ticket_request(*state).label)),
                     /*cancelled=*/true);
                 return;
+            case MsgType::kReplyShed:
+                // Server-side admission refusal or budget shed: re-raise
+                // as the same retryable class the local engine throws,
+                // carrying the server's reason text.
+                core::detail::complete_external_ticket(
+                    *state, {},
+                    std::make_exception_ptr(core::ShedError(
+                        core::ShedError::Reason::kRemote,
+                        core::detail::ticket_request(*state).label,
+                        payload_text(reply->payload))),
+                    /*cancelled=*/false, /*shed=*/true);
+                return;
             case MsgType::kReplyError:
                 core::detail::complete_external_ticket(
                     *state, {},
@@ -194,6 +206,15 @@ core::StageTelemetry RemoteShard::transport_telemetry() const {
     return telemetry_;
 }
 
+bool RemoteShard::healthy() {
+    const std::lock_guard<std::mutex> send_lock(send_mutex_);
+    try {
+        return ensure_connected(/*attempts_override=*/1) != nullptr;
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
 void RemoteShard::transact(std::uint64_t id,
                            const core::wire::Buffer& frame, Handler handler,
                            const std::shared_ptr<Clock::time_point>& sent_at) {
@@ -276,7 +297,8 @@ void RemoteShard::transact(std::uint64_t id,
     if (fail) handler(nullptr, failure);
 }
 
-std::shared_ptr<RemoteShard::Connection> RemoteShard::ensure_connected() {
+std::shared_ptr<RemoteShard::Connection> RemoteShard::ensure_connected(
+    int attempts_override) {
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         if (stopped_)
@@ -285,9 +307,10 @@ std::shared_ptr<RemoteShard::Connection> RemoteShard::ensure_connected() {
     }
     double backoff_s = options_.initial_backoff_s;
     std::string last_error = "unreachable";
-    const int attempts = options_.connect_attempts > 0
-                             ? options_.connect_attempts
-                             : 1;
+    const int attempts =
+        attempts_override > 0 ? attempts_override
+        : options_.connect_attempts > 0 ? options_.connect_attempts
+                                        : 1;
     for (int attempt = 0; attempt < attempts; ++attempt) {
         if (attempt > 0) {
             std::this_thread::sleep_for(

@@ -83,6 +83,13 @@ public:
     /// RPC); nullopt when the shard is unreachable.
     [[nodiscard]] std::optional<core::BatchStats> stats();
 
+    /// Cheap liveness probe: true when a connection is up, or when one
+    /// single connect attempt (no backoff) succeeds.  A live-looking
+    /// half-open connection counts as healthy — the probe never sends
+    /// traffic; the first real exchange flushes out stale liveness.
+    /// Groundwork for health-checked rerouting in the shard router.
+    [[nodiscard]] bool healthy();
+
     /// Client-side per-hop laps (net/encode, net/rtt, net/decode) across
     /// every completed round trip.
     [[nodiscard]] core::StageTelemetry transport_telemetry() const;
@@ -116,8 +123,10 @@ private:
 
     /// Requires send_mutex_.  Returns the live connection, establishing
     /// one (attempts × backoff) if necessary; throws RemoteShardError when
-    /// the endpoint stays unreachable.
-    [[nodiscard]] std::shared_ptr<Connection> ensure_connected();
+    /// the endpoint stays unreachable.  `attempts_override` > 0 caps the
+    /// connect attempts for this call (healthy() probes with 1).
+    [[nodiscard]] std::shared_ptr<Connection> ensure_connected(
+        int attempts_override = 0);
 
     void reader_loop(const std::shared_ptr<Connection>& conn);
     void drop_connection(const std::shared_ptr<Connection>& conn);

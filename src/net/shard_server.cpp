@@ -172,7 +172,15 @@ void ShardServer::handle_frame(const std::shared_ptr<Connection>& connection,
                     const core::ScenarioOutcome& outcome) {
                     Envelope reply;
                     reply.id = id;
-                    if (outcome.cancelled) {
+                    if (outcome.shed) {
+                        // Admission refusal or mid-flight budget shed:
+                        // its own reply type, so the client can re-raise
+                        // the retryable ShedError and count it apart
+                        // from caller cancels.
+                        reply.type = MsgType::kReplyShed;
+                        reply.payload =
+                            text_payload(describe(outcome.error));
+                    } else if (outcome.cancelled) {
                         reply.type = MsgType::kReplyCancelled;
                         reply.payload =
                             text_payload(describe(outcome.error));
@@ -232,6 +240,7 @@ void ShardServer::handle_frame(const std::shared_ptr<Connection>& connection,
             stats.workers = engine_.concurrency();
             stats.cache = engine_.cache_stats();
             stats.stage_telemetry = engine_.stage_telemetry();
+            stats.admission = engine_.admission_stats();
             connection->reply(
                 {id, MsgType::kReplyStats, core::wire::encode(stats)});
             return;

@@ -18,7 +18,8 @@ struct Batch {
 
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t workers) {
+ThreadPool::ThreadPool(std::size_t workers, std::size_t levels)
+    : lanes_(std::max<std::size_t>(levels, 1)) {
     threads_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i)
         threads_.emplace_back([this] { worker_loop(); });
@@ -38,10 +39,23 @@ std::size_t ThreadPool::default_workers() {
     return hw > 1 ? hw - 1 : 0;
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+std::function<void()> ThreadPool::pop_locked() {
+    for (auto& lane : lanes_) {
+        if (lane.empty()) continue;
+        auto task = std::move(lane.front());
+        lane.pop_front();
+        --queued_;
+        return task;
+    }
+    return {};  // unreachable: caller checked queued_ != 0
+}
+
+void ThreadPool::submit(std::function<void()> task, std::size_t level) {
     {
         const std::lock_guard<std::mutex> lock(mutex_);
-        queue_.emplace_back(std::move(task));
+        lanes_[std::min(level, lanes_.size() - 1)].emplace_back(
+            std::move(task));
+        ++queued_;
     }
     work_cv_.notify_one();
 }
@@ -50,9 +64,8 @@ bool ThreadPool::try_run_one() {
     std::function<void()> task;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
-        if (queue_.empty()) return false;
-        task = std::move(queue_.front());
-        queue_.pop_front();
+        if (queued_ == 0) return false;
+        task = pop_locked();
     }
     task();
     return true;
@@ -63,10 +76,9 @@ void ThreadPool::worker_loop() {
         std::function<void()> task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
-            work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-            if (queue_.empty()) return;  // stop requested and drained
-            task = std::move(queue_.front());
-            queue_.pop_front();
+            work_cv_.wait(lock, [this] { return stop_ || queued_ != 0; });
+            if (queued_ == 0) return;  // stop requested and drained
+            task = pop_locked();
         }
         task();
     }
@@ -97,7 +109,8 @@ void ThreadPool::parallel_for(
         for (std::size_t i = 0; i < n; ++i) {
             // `body` outlives the batch: parallel_for only returns once
             // every task has run, so capturing it by pointer is safe.
-            queue_.emplace_back([batch, &body, i] {
+            // Lane 0: fan-out of running work preempts queued starts.
+            lanes_[0].emplace_back([batch, &body, i] {
                 try {
                     body(i);
                 } catch (...) {
@@ -109,6 +122,7 @@ void ThreadPool::parallel_for(
                 if (--batch->remaining == 0) batch->done_cv.notify_all();
             });
         }
+        queued_ += n;
     }
     work_cv_.notify_all();
 

@@ -18,6 +18,14 @@
 //   still executes everything on the waiting thread) and then blocks on its
 //   own handle state.
 //
+// Priority levels: the queue is an array of FIFO lanes; dequeue always
+// takes from the lowest-numbered non-empty lane (strict priority, FIFO
+// within a lane).  Level 0 is the most urgent — `parallel_for` fan-out
+// always lands there, so the sub-tasks of a scenario that is already
+// running are never starved behind queued scenario *starts* in lower
+// lanes (a classic priority inversion).  The admission layer
+// (core/admission.hpp) maps its request classes onto levels 1..N.
+//
 // Determinism contract: a body must only write to state addressed by its own
 // index.  Under that discipline results are identical for any worker count,
 // which is what lets the engine promise byte-identical certificates for
@@ -37,7 +45,8 @@ namespace teamplay::support {
 class ThreadPool {
 public:
     /// `workers` background threads; 0 means all work runs on the caller.
-    explicit ThreadPool(std::size_t workers = 0);
+    /// `levels` priority lanes (at least 1): level 0 drains first.
+    explicit ThreadPool(std::size_t workers = 0, std::size_t levels = 1);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool&) = delete;
@@ -58,11 +67,14 @@ public:
     /// completion/error reporting belongs to the caller's handle state.
     /// With zero workers the task runs on whichever thread next drains the
     /// queue (`try_run_one` or a `parallel_for` help-drain loop).
-    void submit(std::function<void()> task);
+    /// `level` selects the priority lane (clamped to the last lane); lower
+    /// drains first.
+    void submit(std::function<void()> task, std::size_t level = 0);
 
-    /// Run one queued task on the calling thread, if any.  Returns false
-    /// when the queue was empty.  Waiters use this to participate instead
-    /// of blocking while work they depend on sits in the queue.
+    /// Run one queued task on the calling thread, if any — always from the
+    /// most urgent non-empty lane.  Returns false when every lane was
+    /// empty.  Waiters use this to participate instead of blocking while
+    /// work they depend on sits in the queue.
     bool try_run_one();
 
     /// Sensible default worker count for batch jobs on this host.
@@ -70,9 +82,15 @@ public:
 
 private:
     void worker_loop();
+    /// Pop from the most urgent non-empty lane.  Caller holds `mutex_` and
+    /// has checked `queued_ != 0`.
+    [[nodiscard]] std::function<void()> pop_locked();
 
     std::vector<std::thread> threads_;
-    std::deque<std::function<void()>> queue_;
+    /// One FIFO lane per priority level; `queued_` counts tasks across all
+    /// lanes so emptiness checks stay O(1).
+    std::vector<std::deque<std::function<void()>>> lanes_;
+    std::size_t queued_ = 0;
     std::mutex mutex_;
     std::condition_variable work_cv_;
     bool stop_ = false;

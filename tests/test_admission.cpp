@@ -1,0 +1,302 @@
+// Admission & deadline subsystem (core/admission.hpp, DESIGN.md §12):
+// bounded-queue rejection at submit, estimate-based deadline refusal,
+// mid-flight shedding at stage boundaries, priority-ordered dequeue on the
+// shared pool, shed-is-retryable semantics (a shed request resubmitted
+// without a deadline produces byte-identical certificates), and the
+// AdmissionStats fold/diff arithmetic that rides in BatchStats.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scenario_engine.hpp"
+#include "support/thread_pool.hpp"
+#include "usecases/apps.hpp"
+
+namespace {
+
+using namespace teamplay;
+using Clock = std::chrono::steady_clock;
+
+core::WorkflowOptions fast_options() {
+    core::WorkflowOptions options;
+    options.compiler.population = 4;
+    options.compiler.iterations = 4;
+    options.profile_runs = 5;
+    options.scheduler.anneal_iterations = 60;
+    return options;
+}
+
+core::ScenarioRequest request_for(const usecases::UseCaseApp& app,
+                                  const std::string& label) {
+    core::ScenarioRequest request;
+    request.program = &app.program;
+    request.platform = &app.platform;
+    request.spec = csl::parse(app.csl_source);
+    request.options = fast_options();
+    request.label = label;
+    return request;
+}
+
+// -- thread-pool priority lanes ----------------------------------------------
+
+TEST(ThreadPoolLanes, StrictPriorityAcrossLanesFifoWithin) {
+    support::ThreadPool pool(0, 3);
+    std::vector<int> order;
+    pool.submit([&order] { order.push_back(20); }, 2);
+    pool.submit([&order] { order.push_back(10); }, 1);
+    pool.submit([&order] { order.push_back(0); }, 0);
+    pool.submit([&order] { order.push_back(11); }, 1);
+    while (pool.try_run_one()) {
+    }
+    // Lane 0 drains first, then lane 1 (FIFO within it), then lane 2.
+    EXPECT_EQ(order, (std::vector<int>{0, 10, 11, 20}));
+}
+
+TEST(ThreadPoolLanes, OutOfRangeLevelClampsToLastLane) {
+    support::ThreadPool pool(0, 2);
+    std::vector<int> order;
+    pool.submit([&order] { order.push_back(9); }, 99);
+    pool.submit([&order] { order.push_back(0); }, 0);
+    while (pool.try_run_one()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 9}));
+}
+
+// -- bounded-queue admission ---------------------------------------------------
+
+TEST(Admission, QueueFullRejectsAtSubmitAndFreesOnDrain) {
+    const auto pill = usecases::make_camera_pill_app();
+    core::ScenarioEngine::Options options;  // caller-only pool
+    options.admission.queue_depths = {0, 1, 0};  // batch bounded at 1
+    core::ScenarioEngine engine(options);
+
+    auto first = engine.submit(request_for(pill, "first"));
+    EXPECT_FALSE(first.done());  // queued, nothing drains yet
+
+    bool rejected_shed_flag = false;
+    auto second = engine.submit(
+        request_for(pill, "second"),
+        [&rejected_shed_flag](const core::ScenarioOutcome& outcome) {
+            rejected_shed_flag = outcome.shed;
+        });
+    EXPECT_TRUE(second.done());  // failed fast, never touched the pool
+    EXPECT_TRUE(rejected_shed_flag);
+    try {
+        (void)second.get();
+        FAIL() << "queue-full submit must raise ShedError";
+    } catch (const core::ShedError& e) {
+        EXPECT_EQ(e.reason(), core::ShedError::Reason::kQueueFull);
+    }
+
+    // Draining the first ticket frees its slot; the class admits again.
+    EXPECT_NO_THROW((void)first.get());
+    auto third = engine.submit(request_for(pill, "third"));
+    EXPECT_NO_THROW((void)third.get());
+
+    const auto totals = engine.admission_stats().totals();
+    EXPECT_EQ(totals.submitted, 3u);
+    EXPECT_EQ(totals.admitted, 2u);
+    EXPECT_EQ(totals.rejected, 1u);
+    EXPECT_EQ(totals.completed, 2u);
+    EXPECT_EQ(totals.queue_peak, 1u);
+}
+
+// -- deadline refusal and mid-flight shedding ---------------------------------
+
+TEST(Admission, ExpiredDeadlineShedsAtFirstStageBoundary) {
+    const auto pill = usecases::make_camera_pill_app();
+    core::ScenarioEngine engine;  // caller-only: we control when it runs
+
+    auto request = request_for(pill, "deadline");
+    request.deadline = Clock::now() + std::chrono::milliseconds(10);
+    bool shed_flag = false;
+    auto ticket = engine.submit(
+        std::move(request),
+        [&shed_flag](const core::ScenarioOutcome& outcome) {
+            shed_flag = outcome.shed;
+        });
+    EXPECT_FALSE(ticket.done());  // admitted: the deadline was feasible
+
+    // By the time anything drains the queue the budget is gone; the first
+    // stage boundary sheds it (kBudgetExhausted, not an admission reject).
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    try {
+        (void)ticket.get();
+        FAIL() << "expired budget must raise ShedError";
+    } catch (const core::ShedError& e) {
+        EXPECT_EQ(e.reason(), core::ShedError::Reason::kBudgetExhausted);
+    }
+    EXPECT_TRUE(shed_flag);
+
+    const auto totals = engine.admission_stats().totals();
+    EXPECT_EQ(totals.admitted, 1u);
+    EXPECT_EQ(totals.shed, 1u);
+    EXPECT_EQ(totals.rejected, 0u);
+}
+
+TEST(Admission, WarmEstimateRejectsUnmeetableDeadlineAtSubmit) {
+    const auto pill = usecases::make_camera_pill_app();
+    core::ScenarioEngine engine;
+
+    // Warm the per-stage means with one real completion...
+    (void)engine.run(request_for(pill, "warmup"));
+    ASSERT_GT(engine.admission_stats().totals().completed, 0u);
+
+    // ...then ask for a deadline far inside the estimated pipeline cost.
+    auto request = request_for(pill, "hopeless");
+    request.deadline = Clock::now() + std::chrono::microseconds(1);
+    auto ticket = engine.submit(std::move(request));
+    EXPECT_TRUE(ticket.done());
+    try {
+        (void)ticket.get();
+        FAIL() << "unmeetable deadline must be refused at admission";
+    } catch (const core::ShedError& e) {
+        EXPECT_EQ(e.reason(),
+                  core::ShedError::Reason::kDeadlineUnmeetable);
+    }
+    EXPECT_EQ(engine.admission_stats().totals().rejected, 1u);
+}
+
+// -- priority-ordered execution -----------------------------------------------
+
+TEST(Admission, SingleWorkerDrainsInPriorityOrderNotSubmissionOrder) {
+    const auto pill = usecases::make_camera_pill_app();
+    core::ScenarioEngine engine;  // caller-only = one (borrowed) worker
+
+    std::vector<std::string> completion_order;
+    const auto record = [&completion_order](
+                            const core::ScenarioOutcome& outcome) {
+        completion_order.push_back(outcome.label);
+    };
+
+    auto background = request_for(pill, "background");
+    background.priority = core::Priority::kBackground;
+    auto batch = request_for(pill, "batch");
+    batch.priority = core::Priority::kBatch;
+    auto interactive = request_for(pill, "interactive");
+    interactive.priority = core::Priority::kInteractive;
+
+    auto last = engine.submit(std::move(background), record);
+    auto mid = engine.submit(std::move(batch), record);
+    auto first = engine.submit(std::move(interactive), record);
+
+    // Draining until the background ticket completes must execute the
+    // whole backlog in class order, not arrival order.
+    last.wait();
+    EXPECT_EQ(completion_order,
+              (std::vector<std::string>{"interactive", "batch",
+                                        "background"}));
+    EXPECT_NO_THROW((void)first.get());
+    EXPECT_NO_THROW((void)mid.get());
+}
+
+// -- retryable semantics -------------------------------------------------------
+
+TEST(Admission, ShedIsRetryableAndResubmitMatchesBytes) {
+    const auto pill = usecases::make_camera_pill_app();
+
+    // Reference bytes from an engine with no admission pressure at all.
+    core::ScenarioEngine reference;
+    const auto expected =
+        reference.run(request_for(pill, "ref")).certificate.to_text();
+
+    core::ScenarioEngine engine;
+    auto doomed = request_for(pill, "doomed");
+    doomed.deadline = Clock::now() + std::chrono::milliseconds(5);
+    auto ticket = engine.submit(std::move(doomed));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+    // The generic retry idiom: ShedError is caught as the service's
+    // retryable class, and the identical request (deadline relaxed)
+    // produces the identical bytes.
+    std::string retried;
+    try {
+        retried = ticket.get().certificate.to_text();
+    } catch (const core::CancelledError&) {  // covers ShedError
+        retried = engine.run(request_for(pill, "doomed"))
+                      .certificate.to_text();
+    }
+    EXPECT_EQ(retried, expected);
+}
+
+// -- stats arithmetic ----------------------------------------------------------
+
+TEST(AdmissionStats, MergeSumsCountersAndMaxesQueuePeak) {
+    core::AdmissionStats a;
+    a.classes[0] = {.submitted = 4,
+                    .admitted = 3,
+                    .rejected = 1,
+                    .shed = 1,
+                    .completed = 2,
+                    .cancelled = 0,
+                    .failed = 0,
+                    .queue_peak = 5};
+    a.remote_failures = {1, 2};
+    core::AdmissionStats b;
+    b.classes[0] = {.submitted = 2,
+                    .admitted = 2,
+                    .rejected = 0,
+                    .shed = 0,
+                    .completed = 2,
+                    .cancelled = 0,
+                    .failed = 0,
+                    .queue_peak = 3};
+    b.classes[1].submitted = 7;
+    b.remote_failures = {3};
+
+    a.merge(b);
+    EXPECT_EQ(a.classes[0].submitted, 6u);
+    EXPECT_EQ(a.classes[0].completed, 4u);
+    EXPECT_EQ(a.classes[0].queue_peak, 5u);  // max, not sum
+    EXPECT_EQ(a.classes[1].submitted, 7u);
+    ASSERT_EQ(a.remote_failures.size(), 2u);
+    EXPECT_EQ(a.remote_failures[0], 4u);  // element-wise sum
+    EXPECT_EQ(a.remote_failures[1], 2u);  // resize-to-max keeps the tail
+
+    const auto totals = a.totals();
+    EXPECT_EQ(totals.submitted, 13u);
+    EXPECT_EQ(totals.queue_peak, 5u);
+}
+
+TEST(AdmissionStats, SinceDiffsMonotonicCountersKeepsGauges) {
+    core::AdmissionStats before;
+    before.classes[2].submitted = 10;
+    before.classes[2].completed = 8;
+    before.classes[2].queue_peak = 4;
+    core::AdmissionStats after = before;
+    after.classes[2].submitted = 15;
+    after.classes[2].completed = 11;
+    after.classes[2].queue_peak = 6;
+    after.remote_failures = {2};
+
+    const auto delta = after.since(before);
+    EXPECT_EQ(delta.classes[2].submitted, 5u);
+    EXPECT_EQ(delta.classes[2].completed, 3u);
+    EXPECT_EQ(delta.classes[2].queue_peak, 6u);  // gauge passes through
+    ASSERT_EQ(delta.remote_failures.size(), 1u);
+    EXPECT_EQ(delta.remote_failures[0], 2u);  // gauge passes through
+}
+
+TEST(Admission, BatchStatsFoldsAdmissionDeltas) {
+    const auto pill = usecases::make_camera_pill_app();
+    core::ScenarioEngine engine;
+    std::vector<core::ScenarioRequest> requests;
+    requests.push_back(request_for(pill, "one"));
+    requests.push_back(request_for(pill, "two"));
+
+    core::BatchStats stats;
+    (void)engine.run_all(requests, &stats);
+    EXPECT_EQ(stats.admission.totals().submitted, 2u);
+    EXPECT_EQ(stats.admission.totals().completed, 2u);
+
+    // A second batch reports only its own delta, not the lifetime counters.
+    core::BatchStats second;
+    (void)engine.run_all(requests, &second);
+    EXPECT_EQ(second.admission.totals().submitted, 2u);
+    EXPECT_EQ(engine.admission_stats().totals().submitted, 4u);
+}
+
+}  // namespace

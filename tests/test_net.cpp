@@ -5,6 +5,7 @@
 // warm fabric peer serves a cold engine's misses with zero recomputes.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <memory>
 #include <optional>
@@ -303,6 +304,77 @@ TEST(Net, ShardedEngineRoutesOverTheFabric) {
     EXPECT_EQ(
         report.certificate.to_text(),
         reference.submit(light_request()).get().certificate.to_text());
+}
+
+TEST(Net, ServerSideShedRepliesRetryableShedError) {
+    const auto server = make_server();
+    net::RemoteShard remote(client_options(server->port()));
+
+    // The deadline travels as remaining budget and is already negative at
+    // encode time, so the server's admission check refuses it the moment
+    // it lands — a deterministic server-side shed, no timing races.
+    auto doomed = light_request("pill#doomed");
+    doomed.deadline = std::chrono::steady_clock::now() -
+                      std::chrono::milliseconds(10);
+    std::promise<bool> shed_flag;
+    auto shed_future = shed_flag.get_future();
+    auto ticket = remote.submit(
+        doomed, [&shed_flag](const core::ScenarioOutcome& outcome) {
+            shed_flag.set_value(outcome.shed);
+        });
+    try {
+        (void)ticket.get();
+        FAIL() << "server-side shed must surface as ShedError";
+    } catch (const core::ShedError& e) {
+        EXPECT_EQ(e.reason(), core::ShedError::Reason::kRemote);
+    }
+    EXPECT_TRUE(shed_future.get());
+
+    // Retryable by the generic idiom: the identical request without the
+    // deadline completes and matches an in-process run byte for byte.
+    const auto report = remote.submit(light_request("pill#doomed")).get();
+    core::ScenarioEngine reference;
+    EXPECT_EQ(
+        report.certificate.to_text(),
+        reference.submit(light_request()).get().certificate.to_text());
+
+    // The refusal is visible in the server's stats RPC: AdmissionStats
+    // crossed the wire inside BatchStats.
+    const auto stats = remote.stats();
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_GE(stats->admission.totals().rejected, 1U);
+    EXPECT_GE(stats->admission.totals().submitted, 2U);
+    EXPECT_GE(stats->admission.totals().completed, 1U);
+}
+
+TEST(Net, HealthyProbeDistinguishesLiveFromUnreachable) {
+    const auto server = make_server();
+    net::RemoteShard live(client_options(server->port()));
+    EXPECT_TRUE(live.healthy());
+    EXPECT_TRUE(live.healthy());  // idempotent on the kept connection
+
+    net::RemoteShard::Options options;
+    options.host = "127.0.0.1";
+    options.port = 1;  // reserved port: nothing listens there
+    net::RemoteShard dead(options);
+    // The probe caps at one connect attempt: no 5-attempt backoff stall.
+    EXPECT_FALSE(dead.healthy());
+}
+
+TEST(Net, ConsecutiveRemoteFailureGaugeCountsTransportLoss) {
+    core::ShardedScenarioEngine::Options options;
+    options.shards = 0;  // pure front-end: everything crosses the wire
+    options.remote_endpoints = {"127.0.0.1:1"};
+    core::ShardedScenarioEngine engine(std::move(options));
+
+    auto first = engine.submit(light_request("pill#gauge_a"));
+    EXPECT_THROW((void)first.get(), core::CancelledError);
+    auto second = engine.submit(light_request("pill#gauge_b"));
+    EXPECT_THROW((void)second.get(), core::CancelledError);
+
+    const auto admission = engine.admission_stats();
+    ASSERT_GE(admission.remote_failures.size(), 1U);
+    EXPECT_GE(admission.remote_failures[0], 2U);  // consecutive, summed up
 }
 
 TEST(Net, MalformedEndpointsAreRejected) {

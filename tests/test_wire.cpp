@@ -6,6 +6,8 @@
 // error path.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
 #include <random>
 #include <string>
 #include <vector>
@@ -223,6 +225,17 @@ TEST(Wire, BatchStatsRoundTrip) {
     stats.cache.entries = 33;
     stats.cache.resident_cost = 112.5;
     stats.stage_telemetry.record("schedule", 0.125);
+    stats.admission.classes[0] = {.submitted = 9,
+                                  .admitted = 8,
+                                  .rejected = 1,
+                                  .shed = 2,
+                                  .completed = 5,
+                                  .cancelled = 1,
+                                  .failed = 0,
+                                  .queue_peak = 4};
+    stats.admission.classes[2].submitted = 3;
+    stats.admission.classes[2].shed = 3;
+    stats.admission.remote_failures = {0, 7, 1};
 
     const auto buffer = core::wire::encode(stats);
     const auto decoded = core::wire::decode_batch_stats(buffer);
@@ -242,6 +255,13 @@ TEST(Wire, BatchStatsRoundTrip) {
     EXPECT_EQ(decoded.cache.entries, stats.cache.entries);
     EXPECT_EQ(decoded.cache.resident_cost, stats.cache.resident_cost);
     EXPECT_EQ(decoded.stage_telemetry.stages().at("schedule").count, 1U);
+    EXPECT_EQ(decoded.admission.classes[0].submitted, 9U);
+    EXPECT_EQ(decoded.admission.classes[0].rejected, 1U);
+    EXPECT_EQ(decoded.admission.classes[0].shed, 2U);
+    EXPECT_EQ(decoded.admission.classes[0].queue_peak, 4U);
+    EXPECT_EQ(decoded.admission.classes[2].shed, 3U);
+    EXPECT_EQ(decoded.admission.remote_failures,
+              (std::vector<std::uint64_t>{0, 7, 1}));
     EXPECT_EQ(core::wire::encode(decoded), buffer);
 }
 
@@ -384,6 +404,10 @@ core::ScenarioRequest sample_request() {
     request.options.scheduler.anneal_iterations = 60;
     request.options.profile_runs = 5;
     request.label = "pill#wire";
+    // Non-default priority, no deadline: the v4 tail bytes are exercised
+    // by every corruption matrix below while byte-exact round-tripping
+    // still holds (only deadline-carrying frames are semantic-only).
+    request.priority = core::Priority::kBackground;
     return request;
 }
 
@@ -432,10 +456,72 @@ TEST(Wire, RequestFrameRoundTripsEveryField) {
               request.options.scheduler.anneal_iterations);
     EXPECT_EQ(decoded.options.profile_runs, request.options.profile_runs);
     EXPECT_EQ(decoded.options.glue_style, request.options.glue_style);
+    EXPECT_EQ(decoded.priority, core::Priority::kBackground);
+    EXPECT_FALSE(decoded.deadline.has_value());
     // encode(decode(b)) == b: the decoded request re-encodes to the exact
     // same frame, so a relayed request is indistinguishable from the
     // original.
     EXPECT_EQ(core::wire::encode(decoded), buffer);
+}
+
+TEST(Wire, DeadlineCrossesAsBudgetWithinTolerance) {
+    using Clock = std::chrono::steady_clock;
+    auto request = sample_request();
+    request.priority = core::Priority::kInteractive;
+    const auto deadline = Clock::now() + std::chrono::milliseconds(250);
+    request.deadline = deadline;
+
+    // The budget is sampled at encode time and re-anchored on the decoding
+    // host's clock, so the round trip is semantic: same remaining budget
+    // up to the encode->decode latency (the documented wire-v4 exception
+    // to byte-exactness — time moved between the two samplings).
+    const auto frame =
+        core::wire::decode_request(core::wire::encode(request));
+    EXPECT_EQ(frame.priority, core::Priority::kInteractive);
+    ASSERT_TRUE(frame.deadline.has_value());
+    const double skew_s =
+        std::abs(std::chrono::duration<double>(*frame.deadline - deadline)
+                     .count());
+    EXPECT_LT(skew_s, 0.05) << "re-anchored deadline drifted " << skew_s;
+    EXPECT_EQ(frame.request().deadline, frame.deadline);
+
+    // A deadline that expired before encoding stays expired after decode
+    // (negative budgets are legal: the request died in transit and the
+    // receiving admission check refuses it).
+    request.deadline = Clock::now() - std::chrono::milliseconds(100);
+    const auto expired =
+        core::wire::decode_request(core::wire::encode(request));
+    ASSERT_TRUE(expired.deadline.has_value());
+    EXPECT_LT(*expired.deadline, Clock::now());
+}
+
+TEST(Wire, NaNDeadlineBudgetIsRejected) {
+    auto request = sample_request();
+    request.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(100);
+    Buffer patched = core::wire::encode(request);
+    // Tail layout with a deadline: [budget f64][checksum u64]; overwrite
+    // the budget with a quiet NaN and reseal so only the NaN check fires.
+    const std::uint64_t nan_bits = 0x7FF8000000000000ULL;
+    for (int i = 0; i < 8; ++i)
+        patched[patched.size() - 16 + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(nan_bits >> (8 * i));
+    reseal(patched);
+    EXPECT_THROW((void)core::wire::decode_request(patched),
+                 core::wire::WireFormatError);
+}
+
+TEST(Wire, InvalidPriorityByteIsRejected) {
+    Buffer patched = core::wire::encode(sample_request());
+    // Tail layout without a deadline: [priority u8][has_deadline bool]
+    // [checksum u64]; a class byte beyond the enum must be refused even
+    // under a valid checksum.
+    ASSERT_EQ(patched[patched.size() - 10],
+              static_cast<std::uint8_t>(core::Priority::kBackground));
+    patched[patched.size() - 10] = 0x7F;
+    reseal(patched);
+    EXPECT_THROW((void)core::wire::decode_request(patched),
+                 core::wire::WireFormatError);
 }
 
 TEST(Wire, RequestWithoutProgramIsUnencodable) {
