@@ -32,10 +32,51 @@ struct Artifact {
     std::string text;  ///< raw JSON, trailing whitespace trimmed
 };
 
+/// Structural completeness check for an artifact about to be spliced raw
+/// into the trajectory: a JSON object whose braces/brackets balance
+/// outside string literals, with nothing after the closing brace.  A
+/// partially-written artifact (bench killed mid-fwrite, disk full)
+/// typically starts with '{' but never closes it; splicing it verbatim
+/// would corrupt the whole trajectory, which is exactly the one-bad-file
+/// failure this collator must survive.
+bool looks_like_complete_json_object(const std::string& text) {
+    if (text.empty() || text.front() != '{') return false;
+    int depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (in_string) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        switch (c) {
+            case '"': in_string = true; break;
+            case '{':
+            case '[': ++depth; break;
+            case '}':
+            case ']':
+                if (--depth < 0) return false;
+                if (depth == 0 && i + 1 != text.size())
+                    return false;  // trailing garbage after the object
+                break;
+            default: break;
+        }
+    }
+    return depth == 0 && !in_string;
+}
+
 /// BENCH_<name>.json files in `dir`, excluding the trajectory itself (a
 /// rerun must not recursively embed its own previous output) and staging
 /// leftovers.  Sorted by name so the collated object diffs cleanly.
-std::vector<Artifact> collect(const fs::path& dir) {
+/// Malformed or partially-written artifacts are skipped and counted in
+/// `skipped` — one corrupt file must not kill the trajectory upload.
+std::vector<Artifact> collect(const fs::path& dir, std::size_t& skipped) {
     std::vector<Artifact> artifacts;
     for (const auto& entry : fs::directory_iterator(dir)) {
         if (!entry.is_regular_file()) continue;
@@ -56,9 +97,11 @@ std::vector<Artifact> collect(const fs::path& dir) {
                (text.back() == '\n' || text.back() == '\r' ||
                 text.back() == ' '))
             text.pop_back();
-        if (!in || text.empty() || text.front() != '{') {
-            std::fprintf(stderr, "warning: skipping malformed %s\n",
+        if (in.bad() || !looks_like_complete_json_object(text)) {
+            std::fprintf(stderr,
+                         "warning: skipping malformed or truncated %s\n",
                          filename.c_str());
+            ++skipped;
             continue;
         }
         artifacts.push_back({name, std::move(text)});
@@ -74,11 +117,13 @@ std::vector<Artifact> collect(const fs::path& dir) {
 
 int main() {
     using teamplay::benchjson::Value;
-    const auto artifacts = collect(fs::current_path());
+    std::size_t skipped = 0;
+    const auto artifacts = collect(fs::current_path(), skipped);
     if (artifacts.empty()) {
         std::fprintf(stderr,
-                     "bench_trend: no BENCH_*.json artifacts found in %s\n",
-                     fs::current_path().string().c_str());
+                     "bench_trend: no usable BENCH_*.json artifacts in %s"
+                     " (%zu skipped as malformed)\n",
+                     fs::current_path().string().c_str(), skipped);
         return 1;
     }
 
@@ -90,7 +135,7 @@ int main() {
     os << "{\"git_sha\":";
     Value(teamplay::benchjson::git_sha()).dump(os);
     os << ",\"generated_utc\":\"" << teamplay::benchjson::utc_timestamp()
-       << "\",\"artifacts\":{";
+       << "\",\"skipped_malformed\":" << skipped << ",\"artifacts\":{";
     bool first = true;
     for (const auto& artifact : artifacts) {
         if (!first) os << ',';
@@ -118,7 +163,8 @@ int main() {
         std::remove(staged.c_str());
         return 1;
     }
-    std::printf("bench_trend: collated %zu artifact(s) into %s\n",
-                artifacts.size(), path.c_str());
+    std::printf(
+        "bench_trend: collated %zu artifact(s) into %s (%zu skipped)\n",
+        artifacts.size(), path.c_str(), skipped);
     return 0;
 }

@@ -45,6 +45,9 @@
 #include "core/advisor.hpp"
 #include "core/result_store.hpp"
 #include "core/sharded_engine.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/replay.hpp"
 #include "net/shard_server.hpp"
 #include "sim/backend.hpp"
 #include "sim/trace.hpp"
@@ -92,6 +95,9 @@ void usage() {
         "                      restarted run warm-starts from disk\n"
         "  --cert-dump <dir>   write each scenario's certificate text to\n"
         "                      <dir>/<label>.cert (byte-identity audits)\n"
+        "  --fuzz-seed <n>     (instead of an app) replay one generated\n"
+        "                      fuzz scenario through the differential\n"
+        "                      oracle; add --loopback for the TCP tier\n"
         "  --sim-backend <b>   simulator tier: interp (reference) or trace\n"
         "                      (pre-decoded threaded dispatch; identical\n"
         "                      results, default interp)\n"
@@ -235,6 +241,41 @@ int main(int argc, char** argv) {
     std::uint16_t serve_port = 0;
     sim::SimBackend backend = sim::SimBackend::kInterp;
     int opt_start = 2;
+    if (which == "--fuzz-seed") {
+        // Replay one generated scenario through the differential oracle
+        // (the CLI face of tools/fuzz_driver.cpp: same generator, same
+        // tiers, same one-line replay record).
+        if (argc < 3) {
+            usage();
+            return 2;
+        }
+        const std::uint64_t fuzz_seed =
+            std::strtoull(argv[2], nullptr, 0);
+        bool loopback = false;
+        for (int i = 3; i < argc; ++i)
+            if (std::strcmp(argv[i], "--loopback") == 0) loopback = true;
+        fuzz::OracleConfig config;
+        config.loopback = loopback;
+        const fuzz::DifferentialOracle oracle(config);
+        const auto scenario =
+            fuzz::ProgramGenerator().scenario(fuzz_seed);
+        std::printf("%s on %s: %zu function(s), %zu task(s)\n",
+                    scenario.name.c_str(), scenario.platform.name.c_str(),
+                    scenario.program.functions.size(),
+                    scenario.entries.size());
+        const auto result = oracle.check(scenario);
+        fuzz::ReplayRecord record;
+        record.seed = fuzz_seed;
+        record.status = result.ok() ? "ok" : "divergence";
+        record.detail = result.ok()
+                            ? "tiers=" + std::to_string(result.tiers.size())
+                            : result.divergence->to_string();
+        std::puts(fuzz::format_record(record).c_str());
+        if (!result.ok())
+            std::printf("repro: %s\n",
+                        fuzz::repro_command(fuzz_seed, loopback).c_str());
+        return result.ok() ? 0 : 1;
+    }
     if (which == "--serve") {
         if (argc < 3) {
             usage();

@@ -319,9 +319,12 @@ ScenarioTicket ScenarioEngine::submit(ScenarioRequest request,
     }
     // The task owns a reference to the state, so a caller that drops its
     // ticket (fire-and-forget with a completion callback) is safe.  The
-    // pool lane is the priority class (lane 0 belongs to stage fan-out).
+    // pool lane is the priority class (lane 0 belongs to stage fan-out);
+    // the deadline orders the request within its lane (EDF), so a tight
+    // deadline admitted after a loose one still starts first.
     pool_.submit([this, state] { execute(*state); },
-                 1 + static_cast<std::size_t>(state->request.priority));
+                 1 + static_cast<std::size_t>(state->request.priority),
+                 state->request.deadline);
     return ScenarioTicket(std::move(state));
 }
 

@@ -1,0 +1,369 @@
+#include "fuzz/generator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace teamplay::fuzz {
+
+namespace {
+
+/// Boards the generator draws from.  Predictable boards are listed twice
+/// as often as complex ones would be drawn: the static flow is the cheap
+/// tier, and profiling cost scales with the board's OPP tables.
+const char* const kPredictableBoards[] = {"nucleo-f091", "camera-pill",
+                                          "gr712rc"};
+const char* const kComplexBoards[] = {"apalis-tk1", "jetson-tx2",
+                                      "jetson-nano"};
+
+/// Headroom kept between an address base and the fault bound: offsets are
+/// drawn below this, so base + offset < memory_words always holds.
+constexpr std::int64_t kAddrHeadroom = 64;
+
+std::string hex_seed(std::uint64_t seed) {
+    std::ostringstream os;
+    os << std::hex << seed;
+    return os.str();
+}
+
+/// Per-function generation state.  The register discipline lives here:
+/// `values` may appear as any operand, `addrs` are the *only* registers a
+/// load/store may dereference (each remembers its immediate base, proving
+/// base + offset stays under the fault bound), and the two sets never mix
+/// — in particular `assign` only ever overwrites a value register, so an
+/// address register provably holds its base for the whole function.
+struct FnState {
+    ir::FunctionBuilder builder;
+    std::vector<ir::Reg> values;
+    struct Addr {
+        ir::Reg reg;
+        std::int64_t base;
+    };
+    std::vector<Addr> addrs;
+
+    FnState(std::string name, int param_count)
+        : builder(std::move(name), param_count) {}
+};
+
+/// Name + arity of an already-generated function (a legal callee).
+struct Callable {
+    std::string name;
+    int param_count;
+};
+
+class Generation {
+public:
+    Generation(std::uint64_t seed, const GeneratorConfig& config)
+        : rng_(seed), config_(config) {}
+
+    GeneratedScenario run(std::uint64_t seed) {
+        GeneratedScenario scenario;
+        scenario.seed = seed;
+        scenario.name = "fuzz_" + hex_seed(seed);
+        scenario.platform = pick_platform();
+        scenario.program.memory_words = config_.memory_words;
+
+        const auto function_count = static_cast<std::size_t>(rng_.range(
+            static_cast<std::int64_t>(config_.min_functions),
+            static_cast<std::int64_t>(config_.max_functions)));
+        for (std::size_t i = 0; i < function_count; ++i) {
+            const std::string name = "fz_f" + std::to_string(i);
+            const int params = static_cast<int>(rng_.range(0, 3));
+            scenario.program.add(make_function(name, params));
+            callables_.push_back({name, params});
+        }
+
+        emit_csl(scenario);
+        return scenario;
+    }
+
+private:
+    platform::Platform pick_platform() {
+        const bool complex_board =
+            config_.allow_complex_platforms && rng_.chance(1.0 / 3.0);
+        if (complex_board)
+            return platform::by_name(
+                kComplexBoards[rng_.below(std::size(kComplexBoards))]);
+        return platform::by_name(
+            kPredictableBoards[rng_.below(std::size(kPredictableBoards))]);
+    }
+
+    ir::Function make_function(const std::string& name, int params) {
+        FnState fn(name, params);
+        for (int p = 0; p < params; ++p)
+            fn.values.push_back(fn.builder.param(p));
+        // Seed the value pool so operand draws never come up empty.
+        fn.values.push_back(fn.builder.imm(rng_.range(-64, 64)));
+        fn.values.push_back(fn.builder.imm(rng_.range(0, 255)));
+
+        emit_regions(fn, /*depth=*/0);
+
+        // Always return a freshly *computed* value: DCE may sweep every
+        // other pure def, but the returned one survives, so no entry can
+        // collapse to a zero-WCET empty body (the task graph rejects
+        // versions with non-positive time).
+        const auto lhs = value(fn);
+        const auto rhs = value(fn);
+        fn.builder.ret(fn.builder.add(lhs, rhs));
+        return fn.builder.build();
+    }
+
+    ir::Reg value(FnState& fn) {
+        return fn.values[rng_.below(fn.values.size())];
+    }
+
+    /// An address register whose base immediate leaves `kAddrHeadroom`
+    /// words below the fault bound.
+    const FnState::Addr& addr(FnState& fn) {
+        if (fn.addrs.empty() || (fn.addrs.size() < 3 && rng_.chance(0.4))) {
+            const std::int64_t base = rng_.range(
+                0, static_cast<std::int64_t>(config_.memory_words) -
+                       kAddrHeadroom - 1);
+            fn.addrs.push_back({fn.builder.imm(base), base});
+        }
+        return fn.addrs[rng_.below(fn.addrs.size())];
+    }
+
+    void emit_instr(FnState& fn) {
+        auto& b = fn.builder;
+        switch (rng_.below(12)) {
+            case 0:
+                fn.values.push_back(b.imm(rng_.range(-4096, 4096)));
+                break;
+            case 1: {  // commutative-ish arithmetic
+                const ir::Reg a = value(fn);
+                const ir::Reg c = value(fn);
+                switch (rng_.below(5)) {
+                    case 0: fn.values.push_back(b.add(a, c)); break;
+                    case 1: fn.values.push_back(b.sub(a, c)); break;
+                    case 2: fn.values.push_back(b.mul(a, c)); break;
+                    case 3: fn.values.push_back(b.div(a, c)); break;
+                    default: fn.values.push_back(b.rem(a, c)); break;
+                }
+                break;
+            }
+            case 2: {  // bitwise
+                const ir::Reg a = value(fn);
+                const ir::Reg c = value(fn);
+                switch (rng_.below(5)) {
+                    case 0: fn.values.push_back(b.band(a, c)); break;
+                    case 1: fn.values.push_back(b.bor(a, c)); break;
+                    case 2: fn.values.push_back(b.bxor(a, c)); break;
+                    case 3: fn.values.push_back(b.shl(a, c)); break;
+                    default: fn.values.push_back(b.shr(a, c)); break;
+                }
+                break;
+            }
+            case 3: {  // comparisons
+                const ir::Reg a = value(fn);
+                const ir::Reg c = value(fn);
+                switch (rng_.below(4)) {
+                    case 0: fn.values.push_back(b.cmp_eq(a, c)); break;
+                    case 1: fn.values.push_back(b.cmp_lt(a, c)); break;
+                    case 2: fn.values.push_back(b.cmp_ge(a, c)); break;
+                    default: fn.values.push_back(b.cmp_ne(a, c)); break;
+                }
+                break;
+            }
+            case 4: {  // unary
+                const ir::Reg a = value(fn);
+                switch (rng_.below(4)) {
+                    case 0: fn.values.push_back(b.bnot(a)); break;
+                    case 1: fn.values.push_back(b.neg(a)); break;
+                    case 2: fn.values.push_back(b.sabs(a)); break;
+                    default: fn.values.push_back(b.popcnt(a)); break;
+                }
+                break;
+            }
+            case 5: {  // min/max
+                const ir::Reg a = value(fn);
+                const ir::Reg c = value(fn);
+                fn.values.push_back(rng_.chance(0.5) ? b.smin(a, c)
+                                                     : b.smax(a, c));
+                break;
+            }
+            case 6: {
+                // Hoisted operands: rng draws inside one call expression
+                // would be unsequenced, breaking cross-compiler replay.
+                const ir::Reg cond = value(fn);
+                const ir::Reg then_v = value(fn);
+                const ir::Reg else_v = value(fn);
+                fn.values.push_back(b.select(cond, then_v, else_v));
+                break;
+            }
+            case 7: {  // load: only through the safe address pool
+                const auto address = addr(fn);
+                const auto offset =
+                    static_cast<ir::Word>(rng_.range(0, kAddrHeadroom - 1));
+                fn.values.push_back(b.load(address.reg, offset));
+                break;
+            }
+            case 8: {  // store
+                const auto address = addr(fn);
+                const ir::Reg stored = value(fn);
+                const auto offset =
+                    static_cast<ir::Word>(rng_.range(0, kAddrHeadroom - 1));
+                b.store(address.reg, stored, offset);
+                break;
+            }
+            case 9:
+                if (config_.allow_security_hints) {
+                    fn.values.push_back(b.secret(value(fn)));
+                } else {
+                    fn.values.push_back(b.mov(value(fn)));
+                }
+                break;
+            case 10: {
+                const ir::Reg a = value(fn);
+                const ir::Word delta = rng_.range(-16, 16);
+                fn.values.push_back(b.add_imm(a, delta));
+                break;
+            }
+            default:
+                b.nop();
+                break;
+        }
+    }
+
+    void emit_block(FnState& fn) {
+        const auto count = 1 + rng_.below(config_.max_block_instrs);
+        for (std::size_t i = 0; i < count; ++i) emit_instr(fn);
+    }
+
+    void emit_regions(FnState& fn, std::size_t depth) {
+        auto& b = fn.builder;
+        const auto regions = 1 + rng_.below(config_.max_regions_per_seq);
+        for (std::size_t r = 0; r < regions; ++r) {
+            const bool may_nest = depth < config_.max_region_depth;
+            switch (rng_.below(6)) {
+                case 0:
+                case 1:
+                    emit_block(fn);
+                    break;
+                case 2:  // if / if-else
+                    if (!may_nest) {
+                        emit_block(fn);
+                        break;
+                    }
+                    b.if_begin(value(fn));
+                    emit_regions(fn, depth + 1);
+                    if (rng_.chance(0.5)) {
+                        b.if_else();
+                        emit_regions(fn, depth + 1);
+                    }
+                    b.if_end();
+                    break;
+                case 3: {  // counted or dynamic loop
+                    if (!may_nest) {
+                        emit_block(fn);
+                        break;
+                    }
+                    const std::int64_t trip =
+                        rng_.range(0, config_.max_loop_trip);
+                    const std::int64_t bound = trip + rng_.range(0, 2);
+                    ir::Reg index = ir::kNoReg;
+                    if (rng_.chance(0.3)) {
+                        // Dynamic trip: the trip register is a fresh
+                        // immediate in [0, bound], so the machine's
+                        // trip-exceeds-bound fault can never fire.
+                        const std::int64_t dyn_bound = std::max<std::int64_t>(
+                            bound, 1);
+                        index = b.dynamic_loop_begin(
+                            b.imm(rng_.range(0, dyn_bound)), dyn_bound);
+                    } else {
+                        index = b.loop_begin(trip, bound);
+                    }
+                    fn.values.push_back(index);
+                    emit_regions(fn, depth + 1);
+                    // Loop-carried register state (the unroll pass must
+                    // detect and refuse these loops — diversity for the
+                    // compiler's legality analysis).
+                    if (rng_.chance(0.3)) {
+                        const ir::Reg dst = value(fn);
+                        b.assign(dst, value(fn));
+                    }
+                    b.loop_end();
+                    break;
+                }
+                case 4:  // call an earlier function (acyclic by index)
+                    if (callables_.empty()) {
+                        emit_block(fn);
+                        break;
+                    } else {
+                        const auto& callee =
+                            callables_[rng_.below(callables_.size())];
+                        std::vector<ir::Reg> args;
+                        args.reserve(
+                            static_cast<std::size_t>(callee.param_count));
+                        for (int a = 0; a < callee.param_count; ++a)
+                            args.push_back(value(fn));
+                        fn.values.push_back(
+                            b.call(callee.name, std::move(args)));
+                    }
+                    break;
+                default:
+                    emit_block(fn);
+                    break;
+            }
+        }
+    }
+
+    void emit_csl(GeneratedScenario& scenario) {
+        const auto task_count =
+            1 + rng_.below(std::max<std::size_t>(config_.max_tasks, 1));
+        std::ostringstream os;
+        os << "# generated scenario seed=0x" << std::hex << scenario.seed
+           << std::dec << "\n";
+        os << "app " << scenario.name << " on " << scenario.platform.name
+           << " deadline 2000ms {\n";
+        for (std::size_t k = 0; k < task_count; ++k) {
+            const auto& entry = callables_[rng_.below(callables_.size())];
+            scenario.entries.push_back(entry.name);
+            os << "  task t" << k << " { entry " << entry.name
+               << "; period 500ms; deadline " << (200 + 100 * k) << "ms;"
+               << " budget time 5000ms; budget energy 100000mJ;";
+            if (config_.allow_security_hints && rng_.chance(0.3)) {
+                static const char* const kHints[] = {"none", "balance",
+                                                     "ladder", "auto"};
+                os << " security " << kHints[rng_.below(4)] << ";";
+            }
+            if (k > 0 && rng_.chance(0.5))
+                os << " after t" << rng_.below(k) << ";";
+            os << " }\n";
+        }
+        os << "}\n";
+        scenario.csl_source = os.str();
+    }
+
+    support::Rng rng_;
+    const GeneratorConfig& config_;
+    std::vector<Callable> callables_;
+};
+
+}  // namespace
+
+GeneratorConfig GeneratorConfig::normalised() const {
+    GeneratorConfig c = *this;
+    c.min_functions = std::max<std::size_t>(c.min_functions, 1);
+    c.max_functions = std::max(c.max_functions, c.min_functions);
+    c.max_tasks = std::max<std::size_t>(c.max_tasks, 1);
+    c.max_region_depth = std::max<std::size_t>(c.max_region_depth, 1);
+    c.max_block_instrs = std::max<std::size_t>(c.max_block_instrs, 1);
+    c.max_regions_per_seq = std::max<std::size_t>(c.max_regions_per_seq, 1);
+    c.max_loop_trip = std::max<std::int64_t>(c.max_loop_trip, 0);
+    c.memory_words = std::max<std::size_t>(
+        c.memory_words, static_cast<std::size_t>(2 * kAddrHeadroom));
+    return c;
+}
+
+ProgramGenerator::ProgramGenerator(GeneratorConfig config)
+    : config_(config.normalised()) {}
+
+GeneratedScenario ProgramGenerator::scenario(std::uint64_t seed) const {
+    Generation generation(seed, config_);
+    return generation.run(seed);
+}
+
+}  // namespace teamplay::fuzz

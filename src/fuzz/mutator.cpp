@@ -1,0 +1,300 @@
+#include "fuzz/mutator.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "ir/builder.hpp"
+
+namespace teamplay::fuzz {
+
+namespace {
+
+using ir::Function;
+using ir::Instr;
+using ir::Node;
+using ir::NodeKind;
+using ir::Program;
+using ir::Reg;
+
+Function* pick_function(Program& program, support::Rng& rng) {
+    if (program.functions.empty()) return nullptr;
+    auto it = program.functions.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(
+                         rng.below(program.functions.size())));
+    return &it->second;
+}
+
+/// Pointers to every instruction of `fn` satisfying `pred`, pre-order.
+template <typename Pred>
+std::vector<Instr*> matching_instrs(Function& fn, Pred&& pred) {
+    std::vector<Instr*> instrs;
+    if (!fn.body) return instrs;
+    ir::for_each_instr(*fn.body, [&](Instr& instr) {
+        if (pred(instr)) instrs.push_back(&instr);
+    });
+    return instrs;
+}
+
+/// Append a node to the function's top-level Seq body.
+bool append_to_body(Function& fn, ir::NodePtr node) {
+    if (!fn.body || fn.body->kind != NodeKind::kSeq) return false;
+    fn.body->children.push_back(std::move(node));
+    return true;
+}
+
+ir::NodePtr empty_block() { return Node::block({}); }
+
+bool instrs_equal(const Instr& a, const Instr& b) {
+    return a.op == b.op && a.dst == b.dst && a.a == b.a && a.b == b.b &&
+           a.c == b.c && a.imm == b.imm && a.secret == b.secret;
+}
+
+bool nodes_equal(const Node& a, const Node& b) {
+    if (a.kind != b.kind) return false;
+    if (a.instrs.size() != b.instrs.size()) return false;
+    for (std::size_t i = 0; i < a.instrs.size(); ++i)
+        if (!instrs_equal(a.instrs[i], b.instrs[i])) return false;
+    if (a.children.size() != b.children.size()) return false;
+    for (std::size_t i = 0; i < a.children.size(); ++i)
+        if (!nodes_equal(*a.children[i], *b.children[i])) return false;
+    if (a.cond != b.cond || a.trip != b.trip || a.bound != b.bound ||
+        a.trip_reg != b.trip_reg || a.index_reg != b.index_reg ||
+        a.stride != b.stride || a.callee != b.callee || a.args != b.args ||
+        a.ret != b.ret)
+        return false;
+    const auto branch_equal = [](const ir::NodePtr& x, const ir::NodePtr& y) {
+        if ((x == nullptr) != (y == nullptr)) return false;
+        return x == nullptr || nodes_equal(*x, *y);
+    };
+    return branch_equal(a.then_branch, b.then_branch) &&
+           branch_equal(a.else_branch, b.else_branch) &&
+           branch_equal(a.body, b.body);
+}
+
+/// Shift every non-parameter register of `fn` up by `delta` (parameters
+/// are positional ABI and stay pinned — exactly the canonicalisation the
+/// structural fingerprint promises to erase).
+void alpha_rename(Function& fn, Reg delta) {
+    const auto map = [&fn, delta](Reg reg) {
+        if (reg == ir::kNoReg || reg < fn.param_count) return reg;
+        return static_cast<Reg>(reg + delta);
+    };
+    fn.ret_reg = map(fn.ret_reg);
+    ir::visit(*fn.body, [&map](Node& node) {
+        node.cond = map(node.cond);
+        node.trip_reg = map(node.trip_reg);
+        node.index_reg = map(node.index_reg);
+        node.ret = map(node.ret);
+        for (auto& arg : node.args) arg = map(arg);
+        for (auto& instr : node.instrs) {
+            instr.dst = map(instr.dst);
+            instr.a = map(instr.a);
+            instr.b = map(instr.b);
+            instr.c = map(instr.c);
+        }
+    });
+    fn.reg_count += delta;
+}
+
+/// A function name not yet present in the program.
+std::string fresh_name(const Program& program, const std::string& stem) {
+    std::string candidate = stem;
+    for (int i = 0; program.find(candidate) != nullptr; ++i)
+        candidate = stem + "_" + std::to_string(i);
+    return candidate;
+}
+
+}  // namespace
+
+std::string_view name(SemanticMutation mutation) {
+    switch (mutation) {
+        case SemanticMutation::kAlphaRename: return "alpha-rename";
+        case SemanticMutation::kRegCountPad: return "reg-count-pad";
+        case SemanticMutation::kDecoyFunction: return "decoy-function";
+        case SemanticMutation::kSwapIdenticalRegions:
+            return "swap-identical-regions";
+    }
+    return "?";
+}
+
+std::string_view name(InvalidMutation mutation) {
+    switch (mutation) {
+        case InvalidMutation::kRegOutOfRange: return "reg-out-of-range";
+        case InvalidMutation::kMissingDst: return "missing-dst";
+        case InvalidMutation::kRetRegOutOfRange: return "ret-reg-out-of-range";
+        case InvalidMutation::kDanglingCallee: return "dangling-callee";
+        case InvalidMutation::kArgCountMismatch: return "arg-count-mismatch";
+        case InvalidMutation::kZeroDynamicBound: return "zero-dynamic-bound";
+        case InvalidMutation::kBoundBelowTrip: return "bound-below-trip";
+        case InvalidMutation::kMissingThenBranch: return "missing-then-branch";
+        case InvalidMutation::kMissingLoopBody: return "missing-loop-body";
+        case InvalidMutation::kParamsExceedRegs: return "params-exceed-regs";
+        case InvalidMutation::kRecursion: return "recursion";
+        case InvalidMutation::kNameKeyMismatch: return "name-key-mismatch";
+        case InvalidMutation::kOobMemoryOffset: return "oob-memory-offset";
+    }
+    return "?";
+}
+
+bool apply_semantic(Program& program, const std::string& entry,
+                    SemanticMutation mutation, support::Rng& rng) {
+    switch (mutation) {
+        case SemanticMutation::kAlphaRename: {
+            // Prefer the entry function (the fingerprinted sub-program's
+            // root); fall back to any function.
+            Function* fn = program.find(entry);
+            if (fn == nullptr) fn = pick_function(program, rng);
+            if (fn == nullptr || !fn->body) return false;
+            alpha_rename(*fn, static_cast<Reg>(3 + rng.below(13)));
+            return true;
+        }
+        case SemanticMutation::kRegCountPad: {
+            Function* fn = pick_function(program, rng);
+            if (fn == nullptr) return false;
+            fn->reg_count += static_cast<int>(1 + rng.below(8));
+            return true;
+        }
+        case SemanticMutation::kDecoyFunction: {
+            // Unreachable by construction: nothing calls a fresh name.
+            ir::FunctionBuilder b(fresh_name(program, "zz_decoy"), 1);
+            const auto doubled = b.add(b.param(0), b.param(0));
+            b.ret(b.add_imm(doubled, rng.range(1, 64)));
+            program.add(b.build());
+            return true;
+        }
+        case SemanticMutation::kSwapIdenticalRegions: {
+            struct Site {
+                Node* seq;
+                std::size_t index;
+            };
+            std::vector<Site> sites;
+            for (auto& [fn_name, fn] : program.functions) {
+                if (!fn.body) continue;
+                ir::visit(*fn.body, [&sites](Node& node) {
+                    if (node.kind != NodeKind::kSeq) return;
+                    for (std::size_t i = 0; i + 1 < node.children.size();
+                         ++i)
+                        if (nodes_equal(*node.children[i],
+                                        *node.children[i + 1]))
+                            sites.push_back({&node, i});
+                });
+            }
+            if (sites.empty()) return false;
+            const auto& site = sites[rng.below(sites.size())];
+            std::swap(site.seq->children[site.index],
+                      site.seq->children[site.index + 1]);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool inject_invalid(Program& program, InvalidMutation mutation,
+                    support::Rng& rng) {
+    Function* fn = pick_function(program, rng);
+    if (fn == nullptr) return false;
+    switch (mutation) {
+        case InvalidMutation::kRegOutOfRange: {
+            auto sites = matching_instrs(
+                *fn, [](const Instr& i) { return ir::writes_dst(i.op); });
+            if (sites.empty()) return false;
+            sites[rng.below(sites.size())]->dst =
+                static_cast<Reg>(fn->reg_count + 3);
+            return true;
+        }
+        case InvalidMutation::kMissingDst: {
+            auto sites = matching_instrs(
+                *fn, [](const Instr& i) { return ir::writes_dst(i.op); });
+            if (sites.empty()) return false;
+            sites[rng.below(sites.size())]->dst = ir::kNoReg;
+            return true;
+        }
+        case InvalidMutation::kRetRegOutOfRange:
+            fn->ret_reg = static_cast<Reg>(fn->reg_count + 7);
+            return true;
+        case InvalidMutation::kDanglingCallee:
+            return append_to_body(
+                *fn, Node::call(fresh_name(program, "fz_missing"), {},
+                                ir::kNoReg));
+        case InvalidMutation::kArgCountMismatch: {
+            // Prefer a callee other than `fn` so the broken rule is arity
+            // alone (a self-call would also trip the recursion check).
+            const Function* callee = nullptr;
+            for (const auto& [callee_name, candidate] : program.functions)
+                if (&candidate != fn) callee = &candidate;
+            if (callee == nullptr) return false;
+            std::vector<Reg> args(
+                static_cast<std::size_t>(callee->param_count) + 1,
+                static_cast<Reg>(0));
+            return append_to_body(
+                *fn, Node::call(callee->name, std::move(args), ir::kNoReg));
+        }
+        case InvalidMutation::kZeroDynamicBound: {
+            auto node = std::make_unique<Node>();
+            node->kind = NodeKind::kLoop;
+            node->trip_reg = 0;
+            node->bound = 0;
+            node->body = empty_block();
+            return append_to_body(*fn, std::move(node));
+        }
+        case InvalidMutation::kBoundBelowTrip: {
+            auto node = std::make_unique<Node>();
+            node->kind = NodeKind::kLoop;
+            node->trip = 5;
+            node->bound = 2;
+            node->body = empty_block();
+            return append_to_body(*fn, std::move(node));
+        }
+        case InvalidMutation::kMissingThenBranch: {
+            auto node = std::make_unique<Node>();
+            node->kind = NodeKind::kIf;
+            node->cond = 0;
+            return append_to_body(*fn, std::move(node));
+        }
+        case InvalidMutation::kMissingLoopBody: {
+            auto node = std::make_unique<Node>();
+            node->kind = NodeKind::kLoop;
+            node->trip = 1;
+            node->bound = 1;
+            return append_to_body(*fn, std::move(node));
+        }
+        case InvalidMutation::kParamsExceedRegs:
+            fn->param_count = fn->reg_count + 1;
+            return true;
+        case InvalidMutation::kRecursion: {
+            std::vector<Reg> args;
+            for (int p = 0; p < fn->param_count; ++p)
+                args.push_back(static_cast<Reg>(p));
+            return append_to_body(
+                *fn, Node::call(fn->name, std::move(args), ir::kNoReg));
+        }
+        case InvalidMutation::kNameKeyMismatch: {
+            const std::string alias = fresh_name(program, "fz_alias");
+            Function copy = *fn;  // keeps its original `name`
+            program.functions[alias] = std::move(copy);
+            return true;
+        }
+        case InvalidMutation::kOobMemoryOffset: {
+            const auto bad_offset =
+                static_cast<ir::Word>(program.memory_words) + 5;
+            auto sites = matching_instrs(*fn, [](const Instr& i) {
+                return i.op == ir::Opcode::kLoad ||
+                       i.op == ir::Opcode::kStore;
+            });
+            if (!sites.empty()) {
+                sites[rng.below(sites.size())]->imm = bad_offset;
+                return true;
+            }
+            Instr load;
+            load.op = ir::Opcode::kLoad;
+            load.dst = 0;
+            load.a = 0;
+            load.imm = bad_offset;
+            return append_to_body(*fn, Node::block({load}));
+        }
+    }
+    return false;
+}
+
+}  // namespace teamplay::fuzz

@@ -1,0 +1,80 @@
+// Valid-by-construction mutation engine over generated programs
+// (DESIGN.md §13): two disjoint mutation families with opposite proof
+// obligations, applied by the fuzz driver and the fixed-seed test suite.
+//
+// Semantic-preserving mutations rewrite representation without touching
+// meaning.  The obligation is an *identity*: `ir::structural_fingerprint`
+// of every task entry must not move, and — because the engine keys every
+// evaluation on that fingerprint — the full toolchain report, certificate
+// bytes included, must be byte-identical for the mutated program.  A
+// mutation that moves either is a canonicalisation bug (the fingerprint
+// erased too little) or a cache-key bug (it erased too much).
+//
+// Invalidity-injecting mutations break one well-formedness rule at a time.
+// The obligation is a *rejection*: `ir::validate` must return a non-empty
+// error list for the mutant — negative testing as a first-class path
+// (SNIPPETS.md №2).  Every enum value below maps onto exactly one
+// rejection class of ir/validate.cpp, so an oracle failure distinguishes
+// "the generator produced garbage" from "the validator regressed"
+// (tests/test_validate.cpp enumerates the classes directly).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ir/program.hpp"
+#include "support/rng.hpp"
+
+namespace teamplay::fuzz {
+
+/// Representation-only rewrites; fingerprints and certificates must hold.
+enum class SemanticMutation : std::uint8_t {
+    kAlphaRename,    ///< shift every non-parameter register of a function
+    kRegCountPad,    ///< grow a function's register file without new uses
+    kDecoyFunction,  ///< add a function no task entry can reach
+    kSwapIdenticalRegions,  ///< swap adjacent structurally equal regions
+};
+inline constexpr std::size_t kNumSemanticMutations = 4;
+
+/// One well-formedness rule broken per value; ir::validate must reject.
+enum class InvalidMutation : std::uint8_t {
+    kRegOutOfRange,        ///< instruction register beyond reg_count
+    kMissingDst,           ///< writes_dst opcode with dst = kNoReg
+    kRetRegOutOfRange,     ///< function ret_reg beyond reg_count
+    kDanglingCallee,       ///< call to a function the program lacks
+    kArgCountMismatch,     ///< call arity != callee param_count
+    kZeroDynamicBound,     ///< dynamic loop with bound <= 0
+    kBoundBelowTrip,       ///< static loop with bound < trip
+    kMissingThenBranch,    ///< if node without a then branch
+    kMissingLoopBody,      ///< loop node without a body
+    kParamsExceedRegs,     ///< param_count > reg_count
+    kRecursion,            ///< self-call: cyclic call graph
+    kNameKeyMismatch,      ///< program map key != function name
+    kOobMemoryOffset,      ///< load/store offset beyond memory_words
+};
+inline constexpr std::size_t kNumInvalidMutations = 13;
+
+[[nodiscard]] std::string_view name(SemanticMutation mutation);
+[[nodiscard]] std::string_view name(InvalidMutation mutation);
+
+/// Apply one semantic-preserving mutation in place.  Returns false when
+/// the mutation found no applicable site (e.g. no two adjacent identical
+/// regions to swap); the program is untouched in that case.  `entry`
+/// biases site selection toward the reachable sub-program when it
+/// matters; any function may be rewritten since the identity obligation
+/// covers the whole report.
+[[nodiscard]] bool apply_semantic(ir::Program& program,
+                                  const std::string& entry,
+                                  SemanticMutation mutation,
+                                  support::Rng& rng);
+
+/// Break exactly one validity rule in place.  Returns false when no
+/// applicable site exists (rare: most injections synthesise their own
+/// site).  After a true return, `ir::validate(program)` must be
+/// non-empty — the oracle treats an accepted mutant as a validator bug.
+[[nodiscard]] bool inject_invalid(ir::Program& program,
+                                  InvalidMutation mutation,
+                                  support::Rng& rng);
+
+}  // namespace teamplay::fuzz

@@ -1,0 +1,93 @@
+#include "fuzz/replay.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace teamplay::fuzz {
+
+namespace {
+
+constexpr std::string_view kTag = "FUZZ-REPLAY";
+
+std::string one_line(std::string text) {
+    std::replace(text.begin(), text.end(), '\n', ' ');
+    std::replace(text.begin(), text.end(), '\r', ' ');
+    return text;
+}
+
+std::string hex_seed(std::uint64_t seed) {
+    std::ostringstream out;
+    out << "0x" << std::hex << std::setw(16) << std::setfill('0') << seed;
+    return out.str();
+}
+
+}  // namespace
+
+std::string format_record(const ReplayRecord& record) {
+    std::ostringstream out;
+    out << kTag << " seed=" << hex_seed(record.seed)
+        << " status=" << one_line(record.status)
+        << " detail=" << one_line(record.detail);
+    return out.str();
+}
+
+std::optional<ReplayRecord> parse_record(const std::string& line) {
+    const auto tag = line.find(kTag);
+    if (tag == std::string::npos) return std::nullopt;
+    const auto seed_key = line.find("seed=", tag);
+    const auto status_key = line.find("status=", tag);
+    const auto detail_key = line.find("detail=", tag);
+    if (seed_key == std::string::npos || status_key == std::string::npos ||
+        detail_key == std::string::npos)
+        return std::nullopt;
+
+    ReplayRecord record;
+    try {
+        record.seed = std::stoull(line.substr(seed_key + 5), nullptr, 16);
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+    const auto status_start = status_key + 7;
+    const auto status_end = line.find(' ', status_start);
+    record.status = line.substr(status_start, status_end == std::string::npos
+                                                  ? std::string::npos
+                                                  : status_end - status_start);
+    record.detail = line.substr(detail_key + 7);
+    return record;
+}
+
+std::string repro_command(std::uint64_t seed, bool loopback) {
+    std::string command = "fuzz_driver --seed " + hex_seed(seed);
+    if (loopback) command += " --loopback";
+    return command;
+}
+
+ReplayLog::ReplayLog(std::string path) : path_(std::move(path)) {}
+
+void ReplayLog::append(const ReplayRecord& record) {
+    records_.push_back(record);
+    if (path_.empty()) return;
+    // Open-append-close per line: a crashed sweep keeps every completed
+    // line on disk for the CI artifact upload.
+    std::ofstream out(path_, std::ios::app);
+    if (out) out << format_record(record) << '\n';
+}
+
+std::size_t ReplayLog::failures() const {
+    return static_cast<std::size_t>(
+        std::count_if(records_.begin(), records_.end(),
+                      [](const ReplayRecord& r) { return r.failed(); }));
+}
+
+std::vector<ReplayRecord> load_replay_log(const std::string& path) {
+    std::vector<ReplayRecord> records;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line))
+        if (auto record = parse_record(line)) records.push_back(*record);
+    return records;
+}
+
+}  // namespace teamplay::fuzz

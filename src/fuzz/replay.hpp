@@ -1,0 +1,70 @@
+// Replay logging: every fuzz run reducible to (seed, generator config),
+// dumped as one greppable line per scenario (DESIGN.md §13).
+//
+// RamFuzz logs the values its generators drew so a failure replays
+// exactly (SNIPPETS.md №1); this subsystem needs far less because the
+// generator is a pure function of its seed — the log line *is* the whole
+// reproduction state.  A CI sweep failure therefore travels as one line:
+//
+//   FUZZ-REPLAY seed=0x00000000deadbeef status=divergence detail=tier=...
+//
+// and `fuzz_driver --seed 0xdeadbeef` replays the identical scenario —
+// same program bytes, same tier pair, same first differing byte — on any
+// host (the generator draws from support::Rng, which is bit-stable across
+// toolchains).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace teamplay::fuzz {
+
+/// One scenario's outcome, reduced to its replayable essence.
+struct ReplayRecord {
+    std::uint64_t seed = 0;
+    std::string status;  ///< "ok" | "divergence" | "invalid-accepted" |
+                         ///< "identity-broken" | "error"
+    std::string detail;  ///< free-form single line (tier, offset, what())
+
+    [[nodiscard]] bool failed() const { return status != "ok"; }
+};
+
+/// The one-line wire format ("FUZZ-REPLAY seed=0x... status=... detail=...").
+/// Newlines in `detail` are flattened to spaces so the line stays one line.
+[[nodiscard]] std::string format_record(const ReplayRecord& record);
+
+/// Inverse of format_record; nullopt for lines that are not replay records
+/// (a log interleaved with other output greps clean).
+[[nodiscard]] std::optional<ReplayRecord> parse_record(
+    const std::string& line);
+
+/// The exact command that reproduces a record's scenario.
+[[nodiscard]] std::string repro_command(std::uint64_t seed, bool loopback);
+
+/// Append-only log: records accumulate in memory and, when a path is
+/// given, are flushed line-by-line to the file (so a crashed sweep still
+/// leaves every completed line for the CI artifact upload).
+class ReplayLog {
+public:
+    ReplayLog() = default;
+    explicit ReplayLog(std::string path);
+
+    void append(const ReplayRecord& record);
+
+    [[nodiscard]] const std::vector<ReplayRecord>& records() const {
+        return records_;
+    }
+    [[nodiscard]] std::size_t failures() const;
+
+private:
+    std::string path_;
+    std::vector<ReplayRecord> records_;
+};
+
+/// Parse every replay record out of a log file (non-record lines skipped).
+[[nodiscard]] std::vector<ReplayRecord> load_replay_log(
+    const std::string& path);
+
+}  // namespace teamplay::fuzz

@@ -39,6 +39,23 @@ void check_node(const Program& program, const Function& fn, const Node& node,
                     check_reg(fn, instr.b, false, "operand b", errors);
                 if (reads_c(instr.op))
                     check_reg(fn, instr.c, false, "operand c", errors);
+                // Static necessary condition for memory safety: the
+                // immediate displacement must be smaller than the flat
+                // memory itself — no base register holding a valid
+                // address can bring such an access back in bounds.  The
+                // runtime bounds check still owns base+offset overflow.
+                if ((instr.op == Opcode::kLoad ||
+                     instr.op == Opcode::kStore) &&
+                    (instr.imm <= -static_cast<Word>(program.memory_words) ||
+                     instr.imm >=
+                         static_cast<Word>(program.memory_words))) {
+                    std::ostringstream os;
+                    os << fn.name << ": memory offset " << instr.imm
+                       << " outside (-" << program.memory_words << ", "
+                       << program.memory_words << ") for "
+                       << opcode_name(instr.op);
+                    errors.push_back(os.str());
+                }
             }
             break;
         case NodeKind::kSeq:

@@ -39,23 +39,54 @@ std::size_t ThreadPool::default_workers() {
     return hw > 1 ? hw - 1 : 0;
 }
 
+bool ThreadPool::QueuedTask::before(const QueuedTask& other) const {
+    // Deadline-bearing tasks drain first (EDF), deadline-less ones keep
+    // submission order after them; `seq` breaks every remaining tie, so
+    // equal deadlines are FIFO too.
+    if (has_deadline != other.has_deadline) return has_deadline;
+    if (has_deadline && deadline != other.deadline)
+        return deadline < other.deadline;
+    return seq < other.seq;
+}
+
 std::function<void()> ThreadPool::pop_locked() {
+    const auto later = [](const QueuedTask& a, const QueuedTask& b) {
+        return b.before(a);  // heap comparator: "a is less urgent than b"
+    };
     for (auto& lane : lanes_) {
         if (lane.empty()) continue;
-        auto task = std::move(lane.front());
-        lane.pop_front();
+        std::pop_heap(lane.begin(), lane.end(), later);
+        auto task = std::move(lane.back().fn);
+        lane.pop_back();
         --queued_;
         return task;
     }
     return {};  // unreachable: caller checked queued_ != 0
 }
 
-void ThreadPool::submit(std::function<void()> task, std::size_t level) {
+void ThreadPool::push_locked(std::size_t lane, QueuedTask task) {
+    const auto later = [](const QueuedTask& a, const QueuedTask& b) {
+        return b.before(a);
+    };
+    task.seq = next_seq_++;
+    auto& heap = lanes_[std::min(lane, lanes_.size() - 1)];
+    heap.push_back(std::move(task));
+    std::push_heap(heap.begin(), heap.end(), later);
+    ++queued_;
+}
+
+void ThreadPool::submit(
+    std::function<void()> task, std::size_t level,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
     {
         const std::lock_guard<std::mutex> lock(mutex_);
-        lanes_[std::min(level, lanes_.size() - 1)].emplace_back(
-            std::move(task));
-        ++queued_;
+        QueuedTask queued;
+        queued.fn = std::move(task);
+        if (deadline.has_value()) {
+            queued.deadline = *deadline;
+            queued.has_deadline = true;
+        }
+        push_locked(level, std::move(queued));
     }
     work_cv_.notify_one();
 }
@@ -109,8 +140,10 @@ void ThreadPool::parallel_for(
         for (std::size_t i = 0; i < n; ++i) {
             // `body` outlives the batch: parallel_for only returns once
             // every task has run, so capturing it by pointer is safe.
-            // Lane 0: fan-out of running work preempts queued starts.
-            lanes_[0].emplace_back([batch, &body, i] {
+            // Lane 0, no deadline: fan-out of running work preempts queued
+            // starts and keeps submission (index) order among itself.
+            QueuedTask task;
+            task.fn = [batch, &body, i] {
                 try {
                     body(i);
                 } catch (...) {
@@ -120,9 +153,9 @@ void ThreadPool::parallel_for(
                 }
                 const std::lock_guard<std::mutex> guard(batch->mutex);
                 if (--batch->remaining == 0) batch->done_cv.notify_all();
-            });
+            };
+            push_locked(0, std::move(task));
         }
-        queued_ += n;
     }
     work_cv_.notify_all();
 

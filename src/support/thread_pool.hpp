@@ -18,13 +18,20 @@
 //   still executes everything on the waiting thread) and then blocks on its
 //   own handle state.
 //
-// Priority levels: the queue is an array of FIFO lanes; dequeue always
-// takes from the lowest-numbered non-empty lane (strict priority, FIFO
-// within a lane).  Level 0 is the most urgent — `parallel_for` fan-out
-// always lands there, so the sub-tasks of a scenario that is already
-// running are never starved behind queued scenario *starts* in lower
-// lanes (a classic priority inversion).  The admission layer
-// (core/admission.hpp) maps its request classes onto levels 1..N.
+// Priority levels: the queue is an array of lanes; dequeue always takes
+// from the lowest-numbered non-empty lane (strict priority).  Level 0 is
+// the most urgent — `parallel_for` fan-out always lands there, so the
+// sub-tasks of a scenario that is already running are never starved
+// behind queued scenario *starts* in lower lanes (a classic priority
+// inversion).  The admission layer (core/admission.hpp) maps its request
+// classes onto levels 1..N.
+//
+// Within a lane, ordering is earliest-deadline-first: tasks submitted
+// with a deadline drain in deadline order (submission-order tiebreak),
+// and ahead of deadline-less tasks, which keep FIFO order among
+// themselves.  A lane with no deadlines anywhere therefore behaves
+// exactly like the old FIFO; a tight deadline never sits behind a loose
+// one that happened to be submitted first.
 //
 // Determinism contract: a body must only write to state addressed by its own
 // index.  Under that discipline results are identical for any worker count,
@@ -32,11 +39,13 @@
 // 1 vs N threads.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -68,8 +77,12 @@ public:
     /// With zero workers the task runs on whichever thread next drains the
     /// queue (`try_run_one` or a `parallel_for` help-drain loop).
     /// `level` selects the priority lane (clamped to the last lane); lower
-    /// drains first.
-    void submit(std::function<void()> task, std::size_t level = 0);
+    /// drains first.  `deadline` orders the task within its lane (EDF,
+    /// submission-order tiebreak); deadline-less tasks drain after every
+    /// deadline-bearing one, FIFO among themselves.
+    void submit(
+        std::function<void()> task, std::size_t level = 0,
+        std::optional<std::chrono::steady_clock::time_point> deadline = {});
 
     /// Run one queued task on the calling thread, if any — always from the
     /// most urgent non-empty lane.  Returns false when every lane was
@@ -81,15 +94,31 @@ public:
     [[nodiscard]] static std::size_t default_workers();
 
 private:
+    /// One queued task with its lane-ordering key.  Lanes are binary
+    /// min-heaps over `before` (std::push_heap/pop_heap), so EDF popping
+    /// is O(log n) per operation and deadline-less lanes cost the same as
+    /// the old FIFO deque up to constants.
+    struct QueuedTask {
+        std::function<void()> fn;
+        std::chrono::steady_clock::time_point deadline{};
+        bool has_deadline = false;
+        std::uint64_t seq = 0;  ///< global submission order (FIFO tiebreak)
+
+        /// Strict weak order: does `*this` drain before `other`?
+        [[nodiscard]] bool before(const QueuedTask& other) const;
+    };
+
     void worker_loop();
+    void push_locked(std::size_t lane, QueuedTask task);
     /// Pop from the most urgent non-empty lane.  Caller holds `mutex_` and
     /// has checked `queued_ != 0`.
     [[nodiscard]] std::function<void()> pop_locked();
 
     std::vector<std::thread> threads_;
-    /// One FIFO lane per priority level; `queued_` counts tasks across all
+    /// One EDF heap per priority level; `queued_` counts tasks across all
     /// lanes so emptiness checks stay O(1).
-    std::vector<std::deque<std::function<void()>>> lanes_;
+    std::vector<std::vector<QueuedTask>> lanes_;
+    std::uint64_t next_seq_ = 0;
     std::size_t queued_ = 0;
     std::mutex mutex_;
     std::condition_variable work_cv_;

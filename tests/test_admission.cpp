@@ -65,6 +65,79 @@ TEST(ThreadPoolLanes, OutOfRangeLevelClampsToLastLane) {
     EXPECT_EQ(order, (std::vector<int>{0, 9}));
 }
 
+// -- EDF ordering within a lane ------------------------------------------------
+
+TEST(ThreadPoolLanes, EdfWithinLaneTightDeadlineFirst) {
+    support::ThreadPool pool(0, 2);
+    const auto now = Clock::now();
+    std::vector<int> order;
+    // Submitted loose-first: FIFO would run 1 before 2; EDF must not.
+    pool.submit([&order] { order.push_back(1); }, 1,
+                now + std::chrono::seconds(100));
+    pool.submit([&order] { order.push_back(2); }, 1,
+                now + std::chrono::seconds(10));
+    pool.submit([&order] { order.push_back(3); }, 1);  // no deadline
+    pool.submit([&order] { order.push_back(4); }, 1);  // no deadline
+    while (pool.try_run_one()) {
+    }
+    // Deadlines drain earliest-first, then the deadline-less tail in FIFO.
+    EXPECT_EQ(order, (std::vector<int>{2, 1, 3, 4}));
+}
+
+TEST(ThreadPoolLanes, EdfEqualDeadlinesKeepSubmissionOrder) {
+    support::ThreadPool pool(0, 1);
+    const auto deadline = Clock::now() + std::chrono::seconds(5);
+    std::vector<int> order;
+    pool.submit([&order] { order.push_back(1); }, 0, deadline);
+    pool.submit([&order] { order.push_back(2); }, 0, deadline);
+    pool.submit([&order] { order.push_back(3); }, 0, deadline);
+    while (pool.try_run_one()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ThreadPoolLanes, EdfNeverCrossesLaneBoundaries) {
+    support::ThreadPool pool(0, 2);
+    std::vector<int> order;
+    // A deadline in lane 1 must not preempt deadline-less lane 0 work:
+    // strict priority across lanes stays above EDF within a lane.
+    pool.submit([&order] { order.push_back(10); }, 1,
+                Clock::now() + std::chrono::milliseconds(1));
+    pool.submit([&order] { order.push_back(0); }, 0);
+    while (pool.try_run_one()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 10}));
+}
+
+TEST(Admission, EdfOrdersSameClassByDeadlineNotArrival) {
+    const auto pill = usecases::make_camera_pill_app();
+    core::ScenarioEngine engine;  // caller-only = one (borrowed) worker
+
+    std::vector<std::string> completion_order;
+    const auto record = [&completion_order](
+                            const core::ScenarioOutcome& outcome) {
+        completion_order.push_back(outcome.label);
+    };
+
+    // All kBatch — same lane.  Loose submitted before tight; a deadline-
+    // less straggler arrives last and must run after both.
+    auto loose = request_for(pill, "loose");
+    loose.deadline = Clock::now() + std::chrono::seconds(200);
+    auto tight = request_for(pill, "tight");
+    tight.deadline = Clock::now() + std::chrono::seconds(100);
+    auto none = request_for(pill, "none");
+
+    auto loose_ticket = engine.submit(std::move(loose), record);
+    auto tight_ticket = engine.submit(std::move(tight), record);
+    auto none_ticket = engine.submit(std::move(none), record);
+
+    none_ticket.wait();
+    EXPECT_EQ(completion_order,
+              (std::vector<std::string>{"tight", "loose", "none"}));
+    EXPECT_NO_THROW((void)loose_ticket.get());
+    EXPECT_NO_THROW((void)tight_ticket.get());
+}
+
 // -- bounded-queue admission ---------------------------------------------------
 
 TEST(Admission, QueueFullRejectsAtSubmitAndFreesOnDrain) {

@@ -1,0 +1,232 @@
+// Direct enumeration of every ir::validate rejection class (DESIGN.md
+// §13): one hand-built invalid program per class, each breaking exactly
+// one rule.  The fuzz mutator's invalidity injections rely on these
+// classes (fuzz/mutator.hpp maps enum values onto them 1:1), so an oracle
+// failure distinguishes "the generator produced garbage" from "the
+// validator regressed": if these pass, the validator is intact.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "ir/program.hpp"
+#include "ir/validate.hpp"
+
+namespace {
+
+using namespace teamplay;
+
+/// A small valid program: main_fn calls leaf, both with live returns.
+ir::Program base_program() {
+    ir::Program program;
+    program.memory_words = 128;
+    ir::FunctionBuilder leaf("leaf", 1);
+    leaf.ret(leaf.add_imm(leaf.param(0), 1));
+    program.add(leaf.build());
+    ir::FunctionBuilder main_fn("main_fn", 2);
+    const auto sum = main_fn.add(main_fn.param(0), main_fn.param(1));
+    const auto addr = main_fn.imm(16);
+    main_fn.store(addr, sum, 4);
+    const auto loaded = main_fn.load(addr, 4);
+    main_fn.ret(main_fn.call("leaf", {loaded}));
+    program.add(main_fn.build());
+    return program;
+}
+
+bool any_error_contains(const std::vector<std::string>& errors,
+                        const std::string& needle) {
+    for (const auto& error : errors)
+        if (error.find(needle) != std::string::npos) return true;
+    return false;
+}
+
+/// First block instruction of a function satisfying `pred`.
+template <typename Pred>
+ir::Instr* find_instr(ir::Function& fn, Pred pred) {
+    ir::Instr* found = nullptr;
+    ir::for_each_instr(*fn.body, [&](ir::Instr& instr) {
+        if (found == nullptr && pred(instr)) found = &instr;
+    });
+    return found;
+}
+
+TEST(Validate, BaseProgramIsClean) {
+    EXPECT_TRUE(ir::validate(base_program()).empty());
+}
+
+TEST(Validate, RejectsRegisterBeyondRegCount) {
+    auto program = base_program();
+    auto& fn = program.functions.at("main_fn");
+    auto* instr =
+        find_instr(fn, [](const ir::Instr& i) { return ir::writes_dst(i.op); });
+    ASSERT_NE(instr, nullptr);
+    instr->dst = static_cast<ir::Reg>(fn.reg_count + 3);
+    EXPECT_TRUE(any_error_contains(ir::validate(program), "out of range"));
+}
+
+TEST(Validate, RejectsMissingDstRegister) {
+    auto program = base_program();
+    auto& fn = program.functions.at("main_fn");
+    auto* instr =
+        find_instr(fn, [](const ir::Instr& i) { return ir::writes_dst(i.op); });
+    ASSERT_NE(instr, nullptr);
+    instr->dst = ir::kNoReg;
+    EXPECT_TRUE(
+        any_error_contains(ir::validate(program), "missing register"));
+}
+
+TEST(Validate, RejectsReturnRegisterBeyondRegCount) {
+    auto program = base_program();
+    auto& fn = program.functions.at("leaf");
+    fn.ret_reg = static_cast<ir::Reg>(fn.reg_count + 7);
+    EXPECT_TRUE(any_error_contains(ir::validate(program),
+                                   "out of range for return value"));
+}
+
+TEST(Validate, RejectsCallToUndefinedFunction) {
+    auto program = base_program();
+    auto& fn = program.functions.at("main_fn");
+    fn.body->children.push_back(
+        ir::Node::call("missing_fn", {}, ir::kNoReg));
+    EXPECT_TRUE(
+        any_error_contains(ir::validate(program), "undefined function"));
+}
+
+TEST(Validate, RejectsCallArityMismatch) {
+    auto program = base_program();
+    auto& fn = program.functions.at("main_fn");
+    // leaf takes 1 parameter; pass 2.
+    fn.body->children.push_back(ir::Node::call(
+        "leaf", {static_cast<ir::Reg>(0), static_cast<ir::Reg>(1)},
+        ir::kNoReg));
+    EXPECT_TRUE(any_error_contains(ir::validate(program), "expected"));
+}
+
+TEST(Validate, RejectsDynamicLoopWithNonPositiveBound) {
+    auto program = base_program();
+    auto& fn = program.functions.at("main_fn");
+    auto loop = std::make_unique<ir::Node>();
+    loop->kind = ir::NodeKind::kLoop;
+    loop->trip_reg = 0;
+    loop->bound = 0;
+    loop->body = ir::Node::block({});
+    fn.body->children.push_back(std::move(loop));
+    EXPECT_TRUE(any_error_contains(ir::validate(program),
+                                   "dynamic loop requires bound > 0"));
+}
+
+TEST(Validate, RejectsStaticLoopBoundBelowTrip) {
+    auto program = base_program();
+    auto& fn = program.functions.at("main_fn");
+    auto loop = std::make_unique<ir::Node>();
+    loop->kind = ir::NodeKind::kLoop;
+    loop->trip = 5;
+    loop->bound = 2;
+    loop->body = ir::Node::block({});
+    fn.body->children.push_back(std::move(loop));
+    EXPECT_TRUE(
+        any_error_contains(ir::validate(program), "below trip count"));
+}
+
+TEST(Validate, RejectsIfWithoutThenBranch) {
+    auto program = base_program();
+    auto& fn = program.functions.at("main_fn");
+    auto node = std::make_unique<ir::Node>();
+    node->kind = ir::NodeKind::kIf;
+    node->cond = 0;
+    fn.body->children.push_back(std::move(node));
+    EXPECT_TRUE(any_error_contains(ir::validate(program),
+                                   "if node without then branch"));
+}
+
+TEST(Validate, RejectsLoopWithoutBody) {
+    auto program = base_program();
+    auto& fn = program.functions.at("main_fn");
+    auto node = std::make_unique<ir::Node>();
+    node->kind = ir::NodeKind::kLoop;
+    node->trip = 1;
+    node->bound = 1;
+    fn.body->children.push_back(std::move(node));
+    EXPECT_TRUE(any_error_contains(ir::validate(program),
+                                   "loop node without body"));
+}
+
+TEST(Validate, RejectsParamCountExceedingRegCount) {
+    auto program = base_program();
+    auto& fn = program.functions.at("leaf");
+    fn.param_count = fn.reg_count + 1;
+    EXPECT_TRUE(any_error_contains(ir::validate(program),
+                                   "param_count exceeds reg_count"));
+}
+
+TEST(Validate, RejectsDirectRecursion) {
+    auto program = base_program();
+    auto& fn = program.functions.at("leaf");
+    fn.body->children.push_back(
+        ir::Node::call("leaf", {static_cast<ir::Reg>(0)}, ir::kNoReg));
+    EXPECT_TRUE(
+        any_error_contains(ir::validate(program), "recursion detected"));
+}
+
+TEST(Validate, RejectsMutualRecursionCycle) {
+    auto program = base_program();
+    // leaf -> main_fn -> leaf closes a cycle through the existing call.
+    auto& fn = program.functions.at("leaf");
+    fn.body->children.push_back(ir::Node::call(
+        "main_fn", {static_cast<ir::Reg>(0), static_cast<ir::Reg>(0)},
+        ir::kNoReg));
+    EXPECT_TRUE(
+        any_error_contains(ir::validate(program), "recursion detected"));
+}
+
+TEST(Validate, RejectsMapKeyNameMismatch) {
+    auto program = base_program();
+    program.functions["alias"] = program.functions.at("leaf");
+    EXPECT_TRUE(any_error_contains(ir::validate(program),
+                                   "does not match function name"));
+}
+
+TEST(Validate, RejectsMemoryOffsetBeyondMemoryWords) {
+    auto program = base_program();
+    auto& fn = program.functions.at("main_fn");
+    auto* load = find_instr(
+        fn, [](const ir::Instr& i) { return i.op == ir::Opcode::kLoad; });
+    ASSERT_NE(load, nullptr);
+    load->imm = static_cast<ir::Word>(program.memory_words) + 5;
+    EXPECT_TRUE(
+        any_error_contains(ir::validate(program), "memory offset"));
+}
+
+TEST(Validate, RejectsMemoryOffsetBelowNegatedMemoryWords) {
+    auto program = base_program();
+    auto& fn = program.functions.at("main_fn");
+    auto* store = find_instr(
+        fn, [](const ir::Instr& i) { return i.op == ir::Opcode::kStore; });
+    ASSERT_NE(store, nullptr);
+    store->imm = -static_cast<ir::Word>(program.memory_words) - 1;
+    EXPECT_TRUE(
+        any_error_contains(ir::validate(program), "memory offset"));
+}
+
+TEST(Validate, AcceptsNegativeOffsetWithinMemoryWords) {
+    // Negative displacements against a large-enough base are legal (the
+    // UAV kernels use them); only magnitudes >= memory_words are static
+    // nonsense.
+    auto program = base_program();
+    auto& fn = program.functions.at("main_fn");
+    auto* load = find_instr(
+        fn, [](const ir::Instr& i) { return i.op == ir::Opcode::kLoad; });
+    ASSERT_NE(load, nullptr);
+    load->imm = -8;
+    EXPECT_TRUE(ir::validate(program).empty());
+}
+
+TEST(Validate, RejectsMissingBody) {
+    auto program = base_program();
+    program.functions.at("leaf").body.reset();
+    EXPECT_TRUE(any_error_contains(ir::validate(program), "missing body"));
+}
+
+}  // namespace
